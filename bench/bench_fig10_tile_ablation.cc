@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Figure 10: ResNet-18 ablation sweeping the maximum parallel
+ * factor (1..256) against the tile size (2..32), reporting DSP count,
+ * BRAM18K count and throughput per point. The paper's observations to
+ * check: DSP/memory/throughput all grow with the parallel factor; tiny
+ * tiles inflate DSP via address generation; throughput correlates
+ * positively with tile size at large parallel factors.
+ */
+
+#include <cstdio>
+
+#include "src/driver/driver.h"
+#include "src/models/dnn_models.h"
+
+using namespace hida;
+
+int
+main()
+{
+    TargetDevice device = TargetDevice::vu9pSlr();
+    const int64_t factors[] = {1, 4, 16, 64, 256};
+    const int64_t tiles[] = {2, 4, 8, 16, 32};
+
+    std::printf("Figure 10: ResNet-18 parallel factor x tile size ablation "
+                "(VU9P one SLR)\n");
+    std::printf("%8s %6s %8s %8s %12s\n", "PF", "Tile", "DSP", "BRAM",
+                "Thr(smp/s)");
+    for (int64_t pf : factors) {
+        for (int64_t tile : tiles) {
+            OwnedModule module = buildDnnModel("ResNet-18", nullptr);
+            FlowOptions options = optionsFor(Flow::kHida);
+            options.maxParallelFactor = pf;
+            options.tileSize = tile;
+            CompileResult result = compile(module.get(), options, device);
+            std::printf("%8ld %6ld %8ld %8ld %12.2f\n", pf, tile,
+                        result.qor.res.dsp, result.qor.res.bram18k,
+                        result.qor.throughput(device));
+        }
+    }
+    return 0;
+}

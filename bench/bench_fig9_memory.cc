@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 9: on-chip memory (BRAM18K) of ScaleHLS designs
+ * relative to HIDA designs for ResNet-18, MobileNet, VGG-16 and MLP.
+ * ScaleHLS keeps all intermediate results (and their partitions) on-chip;
+ * HIDA streams tiles through external memory, so the ratio measures the
+ * memory savings of the tiled dataflow lowering.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/driver/driver.h"
+#include "src/models/dnn_models.h"
+
+using namespace hida;
+
+int
+main()
+{
+    TargetDevice device = TargetDevice::vu9pSlr();
+    std::printf("Figure 9: on-chip memory utilization vs ScaleHLS "
+                "(BRAM18K, VU9P one SLR)\n");
+    std::printf("%-10s %10s %10s %10s   (paper ratio)\n", "Model",
+                "ScaleHLS", "HIDA", "Ratio");
+    struct Row {
+        const char* name;
+        double paper_ratio;
+    };
+    for (const Row& row : {Row{"ResNet-18", 75.6}, Row{"MobileNet", 41.5},
+                           Row{"VGG-16", 57.0}, Row{"MLP", 52.0}}) {
+        auto rebuild = [&]() { return buildDnnModel(row.name, nullptr); };
+        CompileResult hida =
+            compileAutoTuned(rebuild, optionsFor(Flow::kHida), device);
+        CompileResult scalehls =
+            compileAutoTuned(rebuild, optionsFor(Flow::kScaleHls), device);
+        double ratio =
+            static_cast<double>(scalehls.qor.res.bram18k) /
+            std::max<double>(static_cast<double>(hida.qor.res.bram18k), 1.0);
+        std::printf("%-10s %10ld %10ld %9.1fx   (%.1fx)\n", row.name,
+                    scalehls.qor.res.bram18k, hida.qor.res.bram18k, ratio,
+                    row.paper_ratio);
+    }
+    return 0;
+}

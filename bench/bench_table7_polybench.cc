@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Table 7: the eleven PolyBench C++ kernels on a ZU3EG —
+ * HIDA vs ScaleHLS vs SOFF vs Vitis throughput, LUT/FF/DSP, compile time.
+ *
+ * SOFF is a closed OpenCL HLS framework; following the paper's own
+ * methodology, its column ports the throughput *ratios* from the SOFF/HIDA
+ * comparison in the paper for the kernels it reported. Vitis and ScaleHLS
+ * are measured through our flows.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/driver/driver.h"
+#include "src/models/polybench.h"
+#include "src/support/utils.h"
+
+using namespace hida;
+
+int
+main()
+{
+    TargetDevice device = TargetDevice::zu3eg();
+    // HIDA-over-SOFF throughput ratios ported from the paper's Table 7.
+    std::map<std::string, double> soff_ratio = {
+        {"2mm", 7.80},     {"atax", 0.47},    {"bicg", 1.25},
+        {"correlation", 16.99}, {"gesummv", 9.14}, {"mvt", 11.47}};
+
+    std::printf("Table 7: PolyBench kernels on ZU3EG @ %.0f MHz\n",
+                device.freqMhz);
+    std::printf("%-12s %8s %8s %8s %6s %12s | %10s %7s | %7s | %10s %9s\n",
+                "Kernel", "Comp(s)", "LUT", "FF", "DSP", "HIDA(smp/s)",
+                "ScaleHLS", "(x)", "SOFF(x)", "Vitis", "(x)");
+
+    std::vector<double> scale_ratios, vitis_ratios, multi_loop_ratios;
+    const std::vector<std::string> single_loop = {"bicg", "gesummv",
+                                                  "seidel-2d", "symm", "syr2k"};
+    for (const std::string& name : polybenchKernelNames()) {
+        auto rebuild = [&]() { return buildPolybenchKernel(name); };
+
+        CompileResult hida =
+            compileAutoTuned(rebuild, optionsFor(Flow::kHida), device);
+        CompileResult scalehls =
+            compileAutoTuned(rebuild, optionsFor(Flow::kScaleHls), device);
+        OwnedModule vitis_module = rebuild();
+        CompileResult vitis =
+            compile(vitis_module.get(), Flow::kVitis, device);
+
+        double scale_ratio = hida.effectiveThroughput /
+                             std::max(scalehls.effectiveThroughput, 1e-9);
+        double vitis_ratio = hida.effectiveThroughput /
+                             std::max(vitis.effectiveThroughput, 1e-9);
+        scale_ratios.push_back(scale_ratio);
+        vitis_ratios.push_back(vitis_ratio);
+        bool is_single = std::find(single_loop.begin(), single_loop.end(),
+                                   name) != single_loop.end();
+        if (!is_single)
+            multi_loop_ratios.push_back(scale_ratio);
+
+        std::printf("%-12s %8.2f %8ld %8ld %6ld %12.2f | %10.2f %6.2fx |",
+                    name.c_str(), hida.compileSeconds, hida.qor.res.lut,
+                    hida.qor.res.ff, hida.qor.res.dsp,
+                    hida.effectiveThroughput, scalehls.effectiveThroughput,
+                    scale_ratio);
+        auto it = soff_ratio.find(name);
+        if (it != soff_ratio.end())
+            std::printf(" %6.2fx |", it->second);
+        else
+            std::printf(" %7s |", "-");
+        std::printf(" %10.2f %8.2fx\n", vitis.effectiveThroughput,
+                    vitis_ratio);
+    }
+    std::printf("\nGeo-mean HIDA/ScaleHLS: %.2fx (paper: 1.29x; "
+                "multi-loop only: %.2fx, paper: 1.57x)\n",
+                geomean(scale_ratios), geomean(multi_loop_ratios));
+    std::printf("Geo-mean HIDA/Vitis: %.2fx (paper: 31.08x)\n",
+                geomean(vitis_ratios));
+    return 0;
+}

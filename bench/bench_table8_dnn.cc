@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Table 8: PyTorch models on one SLR of a VU9P — throughput and
+ * DSP efficiency for HIDA vs ScaleHLS, plus the DNNBuilder comparison.
+ *
+ * DNNBuilder is RTL and closed, so its DSP efficiencies are ported from
+ * its paper (exactly as HIDA's own Table 8 ports them); efficiency is
+ * scale-free, so the ported numbers remain comparable to our measured
+ * ones. ScaleHLS designs whose on-chip memory exceeds the device by >3x
+ * are reported as failed ("-"), mirroring the paper's ZFNet/YOLO rows.
+ *
+ * DSP efficiency follows Eq. (1): Throughput * MACs / (DSP * Frequency).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/driver/driver.h"
+#include "src/models/dnn_models.h"
+#include "src/support/utils.h"
+
+using namespace hida;
+
+namespace {
+
+double
+dspEfficiency(const CompileResult& result, int64_t macs,
+              const TargetDevice& device)
+{
+    if (result.qor.res.dsp <= 0)
+        return 0.0;
+    return result.effectiveThroughput * static_cast<double>(macs) /
+           (static_cast<double>(result.qor.res.dsp) * device.freqMhz * 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    TargetDevice device = TargetDevice::vu9pSlr();
+    // DSP efficiencies ported from the DNNBuilder paper (Table 8).
+    std::map<std::string, double> dnnbuilder_eff = {
+        {"ZFNet", 0.797}, {"VGG-16", 0.962}, {"YOLO", 0.860}};
+
+    std::printf("Table 8: PyTorch models on VU9P (one SLR) @ %.0f MHz\n",
+                device.freqMhz);
+    std::printf("%-10s %8s %9s %7s %12s %9s | %8s %9s | %9s %9s\n", "Model",
+                "Comp(s)", "LUT", "DSP", "Thr(smp/s)", "DSPeff",
+                "ScaleHLS", "(x)", "DNNB-eff", "(x)");
+
+    std::vector<double> scale_ratios, dnnb_ratios;
+    for (const std::string& name : dnnModelNames()) {
+        int64_t macs = 0;
+        auto rebuild = [&]() { return buildDnnModel(name, &macs); };
+
+        CompileResult hida = compileAutoTuned(
+            rebuild, optionsFor(Flow::kHida), device);
+        double hida_eff = dspEfficiency(hida, macs, device);
+
+        bool scale_failed;
+        CompileResult scalehls;
+        {
+            OwnedModule probe = rebuild();
+            scale_failed = !scaleHlsSupports(probe.get());
+        }
+        if (!scale_failed)
+            scalehls = compileAutoTuned(rebuild, optionsFor(Flow::kScaleHls),
+                                        device);
+
+        std::printf("%-10s %8.2f %9ld %7ld %12.2f %8.1f%% |", name.c_str(),
+                    hida.compileSeconds, hida.qor.res.lut, hida.qor.res.dsp,
+                    hida.effectiveThroughput, hida_eff * 100.0);
+        if (scale_failed) {
+            std::printf(" %8s %9s |", "-", "-");
+        } else {
+            double ratio = hida.effectiveThroughput /
+                           std::max(scalehls.effectiveThroughput, 1e-9);
+            scale_ratios.push_back(ratio);
+            std::printf(" %8.2f %8.2fx |", scalehls.effectiveThroughput,
+                        ratio);
+        }
+        auto it = dnnbuilder_eff.find(name);
+        if (it != dnnbuilder_eff.end()) {
+            double ratio = hida_eff / it->second;
+            dnnb_ratios.push_back(ratio);
+            std::printf(" %8.1f%% %8.2fx\n", it->second * 100.0, ratio);
+        } else {
+            std::printf(" %9s %9s\n", "-", "-");
+        }
+    }
+    std::printf("\nGeo-mean HIDA/ScaleHLS throughput: %.2fx (paper: 8.54x)\n",
+                geomean(scale_ratios));
+    std::printf("Geo-mean HIDA/DNNBuilder DSP efficiency: %.2fx "
+                "(paper: 1.07x)\n",
+                geomean(dnnb_ratios));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hand-built Structural dataflow + simulator exploration: constructs the
+ * Figure 8 join topology (Node0 feeding Node1 and Node2, Node2 also
+ * consuming Node1) directly with the dataflow simulator and sweeps the
+ * short-path channel capacity, showing how buffer duplication / soft FIFO
+ * depth restores full pipelining.
+ */
+
+#include <cstdio>
+
+#include "src/sim/dataflow_sim.h"
+
+using namespace hida;
+
+int
+main()
+{
+    std::printf("Figure 8 topology: Node0 -> {Node1 -> Node2, Node2}\n");
+    std::printf("latencies: Node0=100, Node1=100, Node2=100 cycles\n\n");
+    std::printf("%28s %14s %14s\n", "Buf3 capacity (stages)",
+                "frame latency", "interval");
+
+    for (int64_t capacity : {1, 2, 3, 4}) {
+        SimGraph graph;
+        // Channels: 0 = Buf1 (Node0->Node1), 1 = Buf2 (Node1->Node2),
+        //           2 = Buf3 (Node0->Node2, the short path).
+        graph.channels = {{2}, {2}, {capacity}};
+        SimNode node0;
+        node0.latency = 100;
+        node0.outputs = {0, 2};
+        SimNode node1;
+        node1.latency = 100;
+        node1.inputs = {0};
+        node1.outputs = {1};
+        SimNode node2;
+        node2.latency = 100;
+        node2.inputs = {1, 2};
+        graph.nodes = {node0, node1, node2};
+
+        SimResult result = simulate(graph);
+        std::printf("%28ld %14ld %14.1f\n", capacity, result.frameLatency,
+                    result.steadyInterval);
+    }
+    std::printf("\nWith capacity 1 the short path stalls Node0 (interval > "
+                "node latency);\ncapacity 3 (= path depth difference + 2) "
+                "restores interval = 100,\nwhich is what BalanceDataPaths "
+                "computes automatically.\n");
+
+    // Contrast with a multi-producer violation: sequential execution.
+    SimGraph sequential;
+    sequential.sequential = true;
+    sequential.nodes = {SimNode{100, {}, {}}, SimNode{100, {}, {}},
+                        SimNode{100, {}, {}}};
+    SimResult result = simulate(sequential);
+    std::printf("\nmulti-producer violation (Section 6.4.1): interval %.1f "
+                "(= sum of latencies)\n", result.steadyInterval);
+    return 0;
+}

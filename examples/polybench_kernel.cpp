@@ -1,0 +1,61 @@
+/**
+ * @file
+ * C++-kernel path (the Polygeist route of Figure 3): build the 2mm kernel
+ * as affine IR, compile it under all three flows, and emit the HIDA HLS
+ * C++. Demonstrates multi-producer elimination turning the init/update
+ * nests of each matrix product into a pipelined dataflow.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/analysis/dataflow_graph.h"
+#include "src/driver/driver.h"
+#include "src/emitter/hls_emitter.h"
+#include "src/models/polybench.h"
+
+using namespace hida;
+
+int
+main()
+{
+    TargetDevice device = TargetDevice::zu3eg();
+
+    std::printf("2mm (D = beta*D + tmp*C, tmp = A*B) on %s:\n\n",
+                device.name.c_str());
+    for (Flow flow : {Flow::kVitis, Flow::kScaleHls, Flow::kHida}) {
+        OwnedModule module = buildPolybenchKernel("2mm");
+        CompileResult result = compile(module.get(), flow, device);
+        std::printf("%-9s throughput %10.2f samples/s, %4ld DSP, "
+                    "%4ld BRAM, compile %.3fs\n", flowName(flow).c_str(),
+                    result.effectiveThroughput, result.qor.res.dsp,
+                    result.qor.res.bram18k, result.compileSeconds);
+    }
+
+    // Show the dataflow structure HIDA built.
+    OwnedModule module = buildPolybenchKernel("2mm");
+    compile(module.get(), Flow::kHida, device);
+    module.get().op()->walk([&](Operation* op) {
+        if (isa<ScheduleOp>(op)) {
+            DataflowGraph graph{ScheduleOp(op)};
+            std::printf("\ndataflow schedule: %zu nodes, %zu edges\n",
+                        graph.nodes().size(), graph.edges().size());
+            for (const DataflowEdge& edge : graph.edges())
+                std::printf("  %s -> %s via %s\n",
+                            NodeOp(edge.producer).label().c_str(),
+                            NodeOp(edge.consumer).label().c_str(),
+                            edge.channel->nameHint().c_str());
+        }
+    });
+
+    std::printf("\n==== Emitted HLS C++ (first 50 lines) ====\n");
+    std::string code = emitHlsCpp(module.get());
+    int lines = 0;
+    for (char c : code) {
+        std::putchar(c);
+        if (c == '\n' && ++lines >= 50)
+            break;
+    }
+    std::printf("... (%zu bytes total)\n", code.size());
+    return 0;
+}

@@ -1,0 +1,89 @@
+#ifndef HIDA_ANALYSIS_CONNECTION_H
+#define HIDA_ANALYSIS_CONNECTION_H
+
+/**
+ * @file
+ * Intensity and connection analysis — step (1) of the intensity- and
+ * connection-aware parallelization (Section 6.5). For every pair of nodes
+ * communicating through a shared buffer, records:
+ *  - permutation maps holding the loop-level alignment between the two
+ *    nodes' unrollable loop bands, and
+ *  - scaling maps holding the stride alignment,
+ * exactly as in Table 4 of the paper.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/dataflow_graph.h"
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/hida/hida_ops.h"
+
+namespace hida {
+
+/** Marker for an unmapped loop level (the paper's "empty"). */
+constexpr int64_t kEmptyLevel = -1;
+
+/**
+ * The unrollable loop band of a node: the perfect loop nest that carries
+ * the node's computation, outermost first. Empty when the node's body is a
+ * nested schedule (the hierarchy below is parallelized on its own).
+ */
+std::vector<ForOp> nodeBand(NodeOp node);
+
+/** A source->target connection through a shared buffer (Table 4). */
+struct Connection {
+    NodeOp source;           ///< Writer of the buffer.
+    NodeOp target;           ///< Reader of the buffer.
+    Value* buffer = nullptr; ///< Shared channel (outer schedule-level value).
+
+    /** permSToT[target_level] = matching source level, or kEmptyLevel. */
+    std::vector<int64_t> permSToT;
+    /** permTToS[source_level] = matching target level, or kEmptyLevel. */
+    std::vector<int64_t> permTToS;
+    /** scaleSToT[source_level]: multiply a source unroll factor by this to
+     * obtain the aligned target factor (0 when the level is unmapped). */
+    std::vector<double> scaleSToT;
+    /** scaleTToS[target_level]: target->source factor scaling. */
+    std::vector<double> scaleTToS;
+
+    std::string str() const;
+};
+
+/**
+ * Analyze every dataflow edge of @p graph and produce its connection
+ * record. Edges whose endpoints have empty bands or non-affine accesses
+ * produce no record.
+ */
+std::vector<Connection> analyzeConnections(const DataflowGraph& graph);
+
+/**
+ * Computation intensity of a node: the number of scalar compute operations
+ * it executes (Section 6.5, challenge 3). Innermost statements with no
+ * arithmetic (pure copies) count as one operation per iteration.
+ */
+int64_t nodeIntensity(NodeOp node);
+
+/**
+ * Per-dimension access coefficient of @p node on @p channel: for buffer
+ * dimension d, the band level indexing it and the stride coefficient.
+ * Used by connection analysis and array partitioning.
+ */
+struct DimAccess {
+    int64_t bandLevel = kEmptyLevel;  ///< Band loop indexing this dim.
+    int64_t coeff = 0;                ///< Stride coefficient of that loop.
+};
+
+/**
+ * Extract the per-dimension access pattern of the first load or store of
+ * @p node (looking at its inner block argument) on channel @p channel.
+ * @param want_store select the store (producer side) or load (consumer).
+ * Empty result when no such access or the access is not affine.
+ */
+std::vector<DimAccess> accessPattern(NodeOp node, Value* channel,
+                                     bool want_store);
+
+} // namespace hida
+
+#endif // HIDA_ANALYSIS_CONNECTION_H

@@ -1,0 +1,76 @@
+#include "src/analysis/memory_effects.h"
+
+#include <algorithm>
+
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+
+namespace hida {
+
+std::map<Value*, AccessSummary>
+collectAccesses(Operation* root)
+{
+    std::map<Value*, AccessSummary> result;
+    root->walk([&](Operation* op) {
+        if (op->name() == LoadOp::kOpName || op->name() == "affine.load_padded") {
+            result[op->operand(0)].loadSites++;
+        } else if (op->name() == StoreOp::kOpName) {
+            result[op->operand(1)].storeSites++;
+        } else if (auto copy = dynCast<CopyOp>(op)) {
+            result[copy.source()].loadSites++;
+            result[copy.dest()].storeSites++;
+        } else if (op->name() == StreamReadOp::kOpName) {
+            result[op->operand(0)].loadSites++;
+        } else if (op->name() == StreamWriteOp::kOpName) {
+            result[op->operand(1)].storeSites++;
+        } else if (auto node = dynCast<NodeOp>(op)) {
+            // A nested node already knows its effects; propagate them to the
+            // operands visible at this level.
+            for (unsigned i = 0; i < op->numOperands(); ++i) {
+                if (node.reads(i))
+                    result[op->operand(i)].loadSites++;
+                if (node.writes(i))
+                    result[op->operand(i)].storeSites++;
+            }
+        } else if (isa<ScheduleOp>(op) && op != root) {
+            // Isolated region: accesses inside reference the schedule's
+            // block arguments; fold them back onto the outer operands.
+            auto inner = collectAccesses(op);
+            for (unsigned i = 0; i < op->numOperands(); ++i) {
+                auto it = inner.find(op->body()->argument(i));
+                if (it != inner.end()) {
+                    result[op->operand(i)].loadSites += it->second.loadSites;
+                    result[op->operand(i)].storeSites += it->second.storeSites;
+                }
+            }
+        }
+    });
+    return result;
+}
+
+std::vector<Value*>
+liveInValues(Operation* root)
+{
+    std::vector<Value*> live_ins;
+    auto defined_inside = [&](Value* value) {
+        Operation* anchor = value->isBlockArgument()
+                                ? value->ownerBlock()->parentOp()
+                                : value->definingOp();
+        return anchor != nullptr &&
+               (anchor == root || root->isAncestorOf(anchor));
+    };
+    root->walk([&](Operation* op) {
+        if (op == root)
+            return;
+        for (Value* operand : op->operands()) {
+            if (defined_inside(operand))
+                continue;
+            if (std::find(live_ins.begin(), live_ins.end(), operand) ==
+                live_ins.end())
+                live_ins.push_back(operand);
+        }
+    }, WalkOrder::kPreOrder);
+    return live_ins;
+}
+
+} // namespace hida

@@ -1,0 +1,56 @@
+#ifndef HIDA_ANALYSIS_MEMORY_EFFECTS_H
+#define HIDA_ANALYSIS_MEMORY_EFFECTS_H
+
+/**
+ * @file
+ * Memory effect and live-in analysis. Used when lowering the transparent
+ * Functional dataflow to the isolated Structural dataflow (Section 6.3):
+ * the live-ins become explicit node arguments and the per-buffer effects
+ * become the node's "effects" attribute.
+ */
+
+#include <map>
+#include <vector>
+
+#include "src/dialect/hida/hida_ops.h"
+#include "src/ir/operation.h"
+
+namespace hida {
+
+/** Static access summary of one memref/buffer within a region. */
+struct AccessSummary {
+    int64_t loadSites = 0;   ///< Number of affine.load / copy-read sites.
+    int64_t storeSites = 0;  ///< Number of affine.store / copy-write sites.
+
+    bool reads() const { return loadSites > 0; }
+    bool writes() const { return storeSites > 0; }
+    MemoryEffect effect() const
+    {
+        if (reads() && writes())
+            return MemoryEffect::kReadWrite;
+        if (writes())
+            return MemoryEffect::kWrite;
+        if (reads())
+            return MemoryEffect::kRead;
+        return MemoryEffect::kNone;
+    }
+};
+
+/**
+ * Collect, for every memref/stream value referenced under @p root, its
+ * access summary. Looks through affine.load/store(+padded), memref.copy,
+ * and hida.stream_read/write. Nested hida.node boundaries are looked
+ * through using their recorded effects.
+ */
+std::map<Value*, AccessSummary> collectAccesses(Operation* root);
+
+/**
+ * Values defined outside @p root but used inside it (the live-ins that
+ * must become explicit arguments when isolating the region).
+ * Deterministically ordered by first use.
+ */
+std::vector<Value*> liveInValues(Operation* root);
+
+} // namespace hida
+
+#endif // HIDA_ANALYSIS_MEMORY_EFFECTS_H

@@ -1,0 +1,216 @@
+#include "src/dialect/affine/affine_ops.h"
+
+#include "src/dialect/arith/arith_ops.h"
+#include "src/ir/registry.h"
+#include "src/support/diagnostics.h"
+#include "src/support/utils.h"
+
+namespace hida {
+
+ForOp
+ForOp::create(OpBuilder& builder, int64_t lb, int64_t ub, int64_t step,
+              const std::string& iv_hint)
+{
+    HIDA_ASSERT(step > 0, "affine.for requires a positive step");
+    Operation* op = builder.create(kOpName, {}, {}, 1);
+    op->setIntAttr("lb", lb);
+    op->setIntAttr("ub", ub);
+    op->setIntAttr("step", step);
+    op->body()->addArgument(Type::index(), iv_hint);
+    return ForOp(op);
+}
+
+int64_t
+ForOp::tripCount() const
+{
+    return ceilDiv(upperBound() - lowerBound(), step());
+}
+
+ApplyOp
+ApplyOp::create(OpBuilder& builder, std::vector<Value*> ivs,
+                std::vector<int64_t> coeffs, int64_t offset)
+{
+    HIDA_ASSERT(ivs.size() == coeffs.size(), "affine.apply arity mismatch");
+    Operation* op = builder.create(kOpName, std::move(ivs), {Type::index()});
+    op->setAttr("coeffs", Attribute::i64Array(coeffs));
+    op->setIntAttr("offset", offset);
+    return ApplyOp(op);
+}
+
+LoadOp
+LoadOp::create(OpBuilder& builder, Value* memref, std::vector<Value*> indices)
+{
+    HIDA_ASSERT(memref->type().isMemRef(), "affine.load requires a memref");
+    std::vector<Value*> operands = {memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    Operation* op = builder.create(kOpName, std::move(operands),
+                                   {memref->type().elementType()});
+    return LoadOp(op);
+}
+
+StoreOp
+StoreOp::create(OpBuilder& builder, Value* value, Value* memref,
+                std::vector<Value*> indices)
+{
+    HIDA_ASSERT(memref->type().isMemRef(), "affine.store requires a memref");
+    std::vector<Value*> operands = {value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return StoreOp(builder.create(kOpName, std::move(operands)));
+}
+
+int64_t
+AffineIndexExpr::coeffOf(Value* iv) const
+{
+    for (const AffineTerm& term : terms)
+        if (term.iv == iv)
+            return term.coeff;
+    return 0;
+}
+
+std::optional<AffineIndexExpr>
+decomposeIndex(Value* index)
+{
+    AffineIndexExpr expr;
+    if (index->isBlockArgument()) {
+        // Direct induction variable.
+        expr.terms.push_back({index, 1});
+        return expr;
+    }
+    Operation* def = index->definingOp();
+    if (auto apply = dynCast<ApplyOp>(def)) {
+        std::vector<int64_t> coeffs = apply.coeffs();
+        for (unsigned i = 0; i < def->numOperands(); ++i) {
+            Value* operand = def->operand(i);
+            auto nested = decomposeIndex(operand);
+            if (!nested)
+                return std::nullopt;
+            for (const AffineTerm& term : nested->terms)
+                expr.terms.push_back({term.iv, term.coeff * coeffs[i]});
+            expr.offset += nested->offset * coeffs[i];
+        }
+        expr.offset += apply.offset();
+        return expr;
+    }
+    if (auto constant = dynCast<ConstantOp>(def)) {
+        expr.offset = constant.intValue();
+        return expr;
+    }
+    return std::nullopt;
+}
+
+std::vector<ForOp>
+enclosingLoops(Operation* op)
+{
+    std::vector<ForOp> loops;
+    for (Operation* p = op->parentOp(); p != nullptr; p = p->parentOp())
+        if (auto loop = dynCast<ForOp>(p))
+            loops.push_back(loop);
+    std::reverse(loops.begin(), loops.end());
+    return loops;
+}
+
+std::vector<ForOp>
+topLevelLoops(Block* block)
+{
+    std::vector<ForOp> loops;
+    for (Operation* op : block->ops())
+        if (auto loop = dynCast<ForOp>(op))
+            loops.push_back(loop);
+    return loops;
+}
+
+std::vector<ForOp>
+innermostLoops(Operation* root)
+{
+    std::vector<ForOp> result;
+    root->walk([&](Operation* op) {
+        auto loop = dynCast<ForOp>(op);
+        if (!loop)
+            return;
+        bool has_nested_loop = false;
+        op->walk([&](Operation* nested) {
+            if (nested != op && isa<ForOp>(nested))
+                has_nested_loop = true;
+        });
+        if (!has_nested_loop)
+            result.push_back(loop);
+    });
+    return result;
+}
+
+std::vector<ForOp>
+perfectNest(ForOp outer)
+{
+    std::vector<ForOp> nest = {outer};
+    ForOp current = outer;
+    while (true) {
+        Block* body = current.body();
+        // Count loops among the body ops; descend only through a sole loop.
+        std::vector<ForOp> child_loops = topLevelLoops(body);
+        if (child_loops.size() != 1)
+            break;
+        nest.push_back(child_loops.front());
+        current = child_loops.front();
+    }
+    return nest;
+}
+
+int64_t
+totalTripCount(Operation* root)
+{
+    if (root->numRegions() == 0 || !root->hasBody())
+        return 1;
+    int64_t total = 0;
+    bool has_loop = false;
+    for (ForOp loop : topLevelLoops(root->body())) {
+        has_loop = true;
+        int64_t inner = totalTripCount(loop.op());
+        total += loop.tripCount() * inner;
+    }
+    if (!has_loop)
+        return 1;
+    return total;
+}
+
+void
+registerAffineDialect()
+{
+    auto& registry = OpRegistry::instance();
+    registry.registerOp(
+        ForOp::kOpName,
+        OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
+            if (op->numRegions() != 1)
+                return "affine.for requires one region";
+            if (!op->hasBody() || op->body()->numArguments() != 1)
+                return "affine.for requires a single induction variable";
+            if (!op->body()->argument(0)->type().isIndex())
+                return "affine.for induction variable must be index-typed";
+            ForOp loop(op);
+            if (loop.upperBound() < loop.lowerBound())
+                return "affine.for has negative trip count";
+            return std::nullopt;
+        }});
+    registry.registerOp(ApplyOp::kOpName, OpInfo{});
+    registry.registerOp(
+        LoadOp::kOpName,
+        OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
+            if (op->numOperands() < 1 || !op->operand(0)->type().isMemRef())
+                return "affine.load requires a memref operand";
+            LoadOp load(op);
+            if (load.numIndices() != load.memref()->type().shape().size())
+                return "affine.load index count mismatch";
+            return std::nullopt;
+        }});
+    registry.registerOp(
+        StoreOp::kOpName,
+        OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
+            if (op->numOperands() < 2 || !op->operand(1)->type().isMemRef())
+                return "affine.store requires a memref operand";
+            StoreOp store(op);
+            if (store.numIndices() != store.memref()->type().shape().size())
+                return "affine.store index count mismatch";
+            return std::nullopt;
+        }});
+}
+
+} // namespace hida

@@ -1,0 +1,153 @@
+#ifndef HIDA_DIALECT_AFFINE_AFFINE_OPS_H
+#define HIDA_DIALECT_AFFINE_AFFINE_OPS_H
+
+/**
+ * @file
+ * Affine dialect: statically-bounded loops and affine memory accesses.
+ * This is the static-control subset HIDA relies on (Section 3.2) — loop
+ * bounds, steps and access functions are all compile-time constants, which
+ * is what makes dependence analysis, tiling and the IA/CA parallelization
+ * reliable.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/ir/operation.h"
+
+namespace hida {
+
+/**
+ * Counted loop ("affine.for") with constant bounds and step. The single
+ * region's block carries the induction variable as its argument.
+ *
+ * Directive attributes understood by the estimator/emitter:
+ *  - "unroll": complete unroll factor applied to this loop.
+ *  - "pipeline": unit attr requesting pipelining of this loop body.
+ *  - "ii": achieved initiation interval (filled in by the estimator).
+ *  - "parallel": unit attr, loop carries no dependence (parallelizable dim).
+ *  - "reduction": unit attr, loop accumulates into a scalar/element.
+ */
+class ForOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "affine.for";
+    using OpWrapper::OpWrapper;
+
+    static ForOp create(OpBuilder& builder, int64_t lb, int64_t ub,
+                        int64_t step = 1, const std::string& iv_hint = "i");
+
+    int64_t lowerBound() const { return op_->intAttrOr("lb", 0); }
+    int64_t upperBound() const { return op_->intAttrOr("ub", 0); }
+    int64_t step() const { return op_->intAttrOr("step", 1); }
+    /** Number of iterations. */
+    int64_t tripCount() const;
+
+    Value* inductionVar() const { return op_->body()->argument(0); }
+    Block* body() const { return op_->body(); }
+
+    int64_t unrollFactor() const { return op_->intAttrOr("unroll", 1); }
+    void setUnrollFactor(int64_t factor) { op_->setIntAttr("unroll", factor); }
+    bool isPipelined() const { return op_->hasAttr("pipeline"); }
+    void setPipelined() { op_->setAttr("pipeline", Attribute::unit()); }
+    bool isParallel() const { return op_->hasAttr("parallel"); }
+    void setParallel() { op_->setAttr("parallel", Attribute::unit()); }
+    bool isReduction() const { return op_->hasAttr("reduction"); }
+    void setReduction() { op_->setAttr("reduction", Attribute::unit()); }
+};
+
+/**
+ * Affine index computation ("affine.apply"): result = sum_i coeffs[i] *
+ * operand_i + offset. Operands are induction variables (or other index
+ * values).
+ */
+class ApplyOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "affine.apply";
+    using OpWrapper::OpWrapper;
+
+    static ApplyOp create(OpBuilder& builder, std::vector<Value*> ivs,
+                          std::vector<int64_t> coeffs, int64_t offset);
+
+    std::vector<int64_t> coeffs() const { return op_->attr("coeffs").asI64Array(); }
+    int64_t offset() const { return op_->intAttrOr("offset", 0); }
+};
+
+/** Affine memory load ("affine.load"): operands = memref, indices... */
+class LoadOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "affine.load";
+    using OpWrapper::OpWrapper;
+
+    static LoadOp create(OpBuilder& builder, Value* memref,
+                         std::vector<Value*> indices);
+
+    Value* memref() const { return op_->operand(0); }
+    unsigned numIndices() const { return op_->numOperands() - 1; }
+    Value* index(unsigned i) const { return op_->operand(i + 1); }
+};
+
+/** Affine memory store ("affine.store"): operands = value, memref, indices... */
+class StoreOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "affine.store";
+    using OpWrapper::OpWrapper;
+
+    static StoreOp create(OpBuilder& builder, Value* value, Value* memref,
+                          std::vector<Value*> indices);
+
+    Value* value() const { return op_->operand(0); }
+    Value* memref() const { return op_->operand(1); }
+    unsigned numIndices() const { return op_->numOperands() - 2; }
+    Value* index(unsigned i) const { return op_->operand(i + 2); }
+};
+
+/**
+ * One linear term of an affine index expression: coeff * iv. The iv is
+ * always a loop induction variable (block argument of an affine.for).
+ */
+struct AffineTerm {
+    Value* iv = nullptr;
+    int64_t coeff = 1;
+};
+
+/** Decomposed affine index expression: sum(terms) + offset. */
+struct AffineIndexExpr {
+    std::vector<AffineTerm> terms;
+    int64_t offset = 0;
+
+    /** The single iv when the expression is `c*iv + b`, else nullptr. */
+    Value* singleIv() const { return terms.size() == 1 ? terms[0].iv : nullptr; }
+    /** Coefficient of @p iv in this expression (0 when absent). */
+    int64_t coeffOf(Value* iv) const;
+};
+
+/**
+ * Decompose the index value @p index of a load/store into an affine
+ * expression over induction variables. Returns std::nullopt for non-affine
+ * indices (which the verifier rejects inside affine accesses anyway).
+ */
+std::optional<AffineIndexExpr> decomposeIndex(Value* index);
+
+/** All loops perfectly or imperfectly enclosing @p op, outermost first. */
+std::vector<ForOp> enclosingLoops(Operation* op);
+
+/** All top-level loops directly inside @p block. */
+std::vector<ForOp> topLevelLoops(Block* block);
+
+/** Innermost loops nested under @p root (loops containing no other loop). */
+std::vector<ForOp> innermostLoops(Operation* root);
+
+/** The perfect loop nest rooted at @p outer (outermost first). A nest is
+ * perfect while each body contains exactly one op and it is a loop. */
+std::vector<ForOp> perfectNest(ForOp outer);
+
+/** Total number of scalar iterations below @p root (product over nests). */
+int64_t totalTripCount(Operation* root);
+
+/** Register affine op metadata. */
+void registerAffineDialect();
+
+} // namespace hida
+
+#endif // HIDA_DIALECT_AFFINE_AFFINE_OPS_H

@@ -1,0 +1,364 @@
+#include "src/dialect/hida/hida_ops.h"
+
+#include "src/ir/registry.h"
+#include "src/support/diagnostics.h"
+#include "src/support/utils.h"
+
+namespace hida {
+
+//===----------------------------------------------------------------------===//
+// Functional dataflow
+//===----------------------------------------------------------------------===//
+
+YieldOp
+YieldOp::create(OpBuilder& builder, std::vector<Value*> operands)
+{
+    return YieldOp(builder.create(kOpName, std::move(operands)));
+}
+
+DispatchOp
+DispatchOp::create(OpBuilder& builder, const std::vector<Type>& result_types)
+{
+    Operation* op = builder.create(kOpName, {}, result_types, 1);
+    op->body();
+    return DispatchOp(op);
+}
+
+std::vector<TaskOp>
+DispatchOp::tasks() const
+{
+    std::vector<TaskOp> result;
+    for (Operation* op : body()->ops())
+        if (auto task = dynCast<TaskOp>(op))
+            result.push_back(task);
+    return result;
+}
+
+TaskOp
+TaskOp::create(OpBuilder& builder, const std::vector<Type>& result_types)
+{
+    Operation* op = builder.create(kOpName, {}, result_types, 1);
+    op->body();
+    return TaskOp(op);
+}
+
+DispatchOp
+TaskOp::parentDispatch() const
+{
+    return DispatchOp(op_->parentOfName(DispatchOp::kOpName));
+}
+
+//===----------------------------------------------------------------------===//
+// Structural dataflow
+//===----------------------------------------------------------------------===//
+
+ScheduleOp
+ScheduleOp::create(OpBuilder& builder, std::vector<Value*> live_ins)
+{
+    Operation* op = builder.create(kOpName, live_ins, {}, 1);
+    Block* body = op->body();
+    for (Value* v : live_ins)
+        body->addArgument(v->type(), v->nameHint());
+    return ScheduleOp(op);
+}
+
+std::vector<NodeOp>
+ScheduleOp::nodes() const
+{
+    std::vector<NodeOp> result;
+    for (Operation* op : body()->ops())
+        if (auto node = dynCast<NodeOp>(op))
+            result.push_back(node);
+    return result;
+}
+
+NodeOp
+NodeOp::create(OpBuilder& builder, std::vector<Value*> operands,
+               const std::vector<MemoryEffect>& effects,
+               const std::string& label)
+{
+    HIDA_ASSERT(operands.size() == effects.size(),
+                "hida.node operand/effect count mismatch");
+    Operation* op = builder.create(kOpName, operands, {}, 1);
+    Block* body = op->body();
+    std::vector<int64_t> encoded;
+    for (unsigned i = 0; i < operands.size(); ++i) {
+        body->addArgument(operands[i]->type(), operands[i]->nameHint());
+        encoded.push_back(static_cast<int64_t>(effects[i]));
+    }
+    op->setAttr("effects", Attribute::i64Array(encoded));
+    op->setAttr("label", Attribute::string(label));
+    return NodeOp(op);
+}
+
+std::string
+NodeOp::label() const
+{
+    return op_->hasAttr("label") ? op_->attr("label").asString() : "node";
+}
+
+void
+NodeOp::setLabel(const std::string& label)
+{
+    op_->setAttr("label", Attribute::string(label));
+}
+
+MemoryEffect
+NodeOp::effect(unsigned operand_index) const
+{
+    return static_cast<MemoryEffect>(
+        op_->attr("effects").asI64Array().at(operand_index));
+}
+
+void
+NodeOp::setEffect(unsigned operand_index, MemoryEffect effect)
+{
+    std::vector<int64_t> encoded = op_->attr("effects").asI64Array();
+    encoded.at(operand_index) = static_cast<int64_t>(effect);
+    op_->setAttr("effects", Attribute::i64Array(encoded));
+}
+
+std::vector<MemoryEffect>
+NodeOp::effects() const
+{
+    std::vector<MemoryEffect> result;
+    for (int64_t e : op_->attr("effects").asI64Array())
+        result.push_back(static_cast<MemoryEffect>(e));
+    return result;
+}
+
+Value*
+NodeOp::appendArgument(Value* operand, MemoryEffect effect)
+{
+    op_->appendOperand(operand);
+    std::vector<int64_t> encoded = op_->attr("effects").asI64Array();
+    encoded.push_back(static_cast<int64_t>(effect));
+    op_->setAttr("effects", Attribute::i64Array(encoded));
+    return op_->body()->addArgument(operand->type(), operand->nameHint());
+}
+
+void
+NodeOp::removeArgument(unsigned i)
+{
+    HIDA_ASSERT(!innerArg(i)->hasUses(), "removing a used node argument");
+    std::vector<int64_t> encoded = op_->attr("effects").asI64Array();
+    encoded.erase(encoded.begin() + i);
+    op_->setAttr("effects", Attribute::i64Array(encoded));
+    op_->eraseOperand(i);
+    op_->body()->eraseArgument(i);
+}
+
+bool
+NodeOp::reads(unsigned i) const
+{
+    MemoryEffect e = effect(i);
+    return e == MemoryEffect::kRead || e == MemoryEffect::kReadWrite;
+}
+
+bool
+NodeOp::writes(unsigned i) const
+{
+    MemoryEffect e = effect(i);
+    return e == MemoryEffect::kWrite || e == MemoryEffect::kReadWrite;
+}
+
+std::vector<unsigned>
+NodeOp::writtenOperandIndices() const
+{
+    std::vector<unsigned> result;
+    for (unsigned i = 0; i < op_->numOperands(); ++i)
+        if (writes(i))
+            result.push_back(i);
+    return result;
+}
+
+std::vector<unsigned>
+NodeOp::readOperandIndices() const
+{
+    std::vector<unsigned> result;
+    for (unsigned i = 0; i < op_->numOperands(); ++i)
+        if (reads(i))
+            result.push_back(i);
+    return result;
+}
+
+BufferOp
+BufferOp::create(OpBuilder& builder, Type memref_type, int64_t stages,
+                 const std::string& hint)
+{
+    HIDA_ASSERT(memref_type.isMemRef(), "hida.buffer requires a memref type");
+    Operation* op = builder.create(kOpName, {}, {memref_type});
+    op->setIntAttr("stages", stages);
+    op->result(0)->setNameHint(hint);
+    return BufferOp(op);
+}
+
+std::vector<int64_t>
+BufferOp::partitionFactors() const
+{
+    if (op_->hasAttr("partition_factors"))
+        return op_->attr("partition_factors").asI64Array();
+    return std::vector<int64_t>(type().shape().size(), 1);
+}
+
+std::vector<int64_t>
+BufferOp::partitionFashions() const
+{
+    if (op_->hasAttr("partition_fashions"))
+        return op_->attr("partition_fashions").asI64Array();
+    return std::vector<int64_t>(type().shape().size(),
+                                static_cast<int64_t>(PartitionFashion::kNone));
+}
+
+void
+BufferOp::setPartition(const std::vector<int64_t>& fashions,
+                       const std::vector<int64_t>& factors)
+{
+    HIDA_ASSERT(fashions.size() == type().shape().size() &&
+                    factors.size() == type().shape().size(),
+                "partition rank mismatch");
+    op_->setAttr("partition_fashions", Attribute::i64Array(fashions));
+    op_->setAttr("partition_factors", Attribute::i64Array(factors));
+}
+
+int64_t
+BufferOp::bankCount() const
+{
+    return product(partitionFactors());
+}
+
+std::vector<int64_t>
+BufferOp::tileFactors() const
+{
+    if (op_->hasAttr("tile_factors"))
+        return op_->attr("tile_factors").asI64Array();
+    return std::vector<int64_t>(type().shape().size(), 1);
+}
+
+void
+BufferOp::setTileFactors(const std::vector<int64_t>& factors)
+{
+    op_->setAttr("tile_factors", Attribute::i64Array(factors));
+}
+
+std::string
+BufferOp::memKind() const
+{
+    return op_->hasAttr("mem_kind") ? op_->attr("mem_kind").asString()
+                                    : "bram_t2p";
+}
+
+void
+BufferOp::setMemKind(const std::string& kind)
+{
+    op_->setAttr("mem_kind", Attribute::string(kind));
+}
+
+StreamOp
+StreamOp::create(OpBuilder& builder, Type element, int64_t depth,
+                 const std::string& hint)
+{
+    Operation* op =
+        builder.create(kOpName, {}, {Type::stream(element, depth)});
+    op->result(0)->setNameHint(hint);
+    return StreamOp(op);
+}
+
+StreamReadOp
+StreamReadOp::create(OpBuilder& builder, Value* stream)
+{
+    HIDA_ASSERT(stream->type().isStream(), "stream_read requires a stream");
+    return StreamReadOp(builder.create(kOpName, {stream},
+                                       {stream->type().elementType()}));
+}
+
+StreamWriteOp
+StreamWriteOp::create(OpBuilder& builder, Value* value, Value* stream)
+{
+    HIDA_ASSERT(stream->type().isStream(), "stream_write requires a stream");
+    return StreamWriteOp(builder.create(kOpName, {value, stream}));
+}
+
+PortOp
+PortOp::create(OpBuilder& builder, Type type, const std::string& kind,
+               int64_t latency_cycles)
+{
+    Operation* op = builder.create(kOpName, {}, {type});
+    op->setAttr("kind", Attribute::string(kind));
+    op->setIntAttr("latency", latency_cycles);
+    op->result(0)->setNameHint("port");
+    return PortOp(op);
+}
+
+BundleOp
+BundleOp::create(OpBuilder& builder, const std::string& name,
+                 std::vector<Value*> ports)
+{
+    Operation* op = builder.create(kOpName, std::move(ports));
+    op->setAttr("bundle_name", Attribute::string(name));
+    return BundleOp(op);
+}
+
+PackOp
+PackOp::create(OpBuilder& builder, Value* memref, Value* port)
+{
+    return PackOp(builder.create(kOpName, {memref, port}));
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void
+registerHidaDialect()
+{
+    auto& registry = OpRegistry::instance();
+
+    registry.registerOp(YieldOp::kOpName, OpInfo{.isTerminator = true});
+    registry.registerOp(DispatchOp::kOpName, OpInfo{});
+    registry.registerOp(TaskOp::kOpName, OpInfo{});
+
+    registry.registerOp(
+        ScheduleOp::kOpName,
+        OpInfo{.isolatedFromAbove = true,
+               .verify = [](Operation* op) -> std::optional<std::string> {
+                   if (!op->hasBody() ||
+                       op->body()->numArguments() != op->numOperands())
+                       return "hida.schedule args must mirror operands";
+                   return std::nullopt;
+               }});
+    registry.registerOp(
+        NodeOp::kOpName,
+        OpInfo{.isolatedFromAbove = true,
+               .verify = [](Operation* op) -> std::optional<std::string> {
+                   if (!op->hasBody() ||
+                       op->body()->numArguments() != op->numOperands())
+                       return "hida.node args must mirror operands";
+                   if (!op->hasAttr("effects") ||
+                       op->attr("effects").asI64Array().size() !=
+                           op->numOperands())
+                       return "hida.node requires one effect per operand";
+                   return std::nullopt;
+               }});
+    registry.registerOp(
+        BufferOp::kOpName,
+        OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
+            BufferOp buffer(op);
+            if (buffer.stages() < 1)
+                return "hida.buffer requires stages >= 1";
+            auto factors = buffer.partitionFactors();
+            const auto& shape = buffer.type().shape();
+            for (size_t i = 0; i < factors.size(); ++i)
+                if (factors[i] < 1 || factors[i] > shape[i])
+                    return "hida.buffer partition factor out of range";
+            return std::nullopt;
+        }});
+    registry.registerOp(StreamOp::kOpName, OpInfo{});
+    registry.registerOp(StreamReadOp::kOpName, OpInfo{});
+    registry.registerOp(StreamWriteOp::kOpName, OpInfo{});
+    registry.registerOp(PortOp::kOpName, OpInfo{});
+    registry.registerOp(BundleOp::kOpName, OpInfo{});
+    registry.registerOp(PackOp::kOpName, OpInfo{});
+}
+
+} // namespace hida

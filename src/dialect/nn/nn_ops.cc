@@ -1,0 +1,226 @@
+#include "src/dialect/nn/nn_ops.h"
+
+#include "src/ir/registry.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+namespace {
+
+/** Output spatial size of a windowed op. */
+int64_t
+convOut(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+NnWeightOp
+NnWeightOp::create(OpBuilder& builder, std::vector<int64_t> shape, Type element,
+                   int64_t seed)
+{
+    Operation* op =
+        builder.create(kOpName, {}, {Type::tensor(std::move(shape), element)});
+    op->setIntAttr("seed", seed);
+    op->result(0)->setNameHint("w");
+    return NnWeightOp(op);
+}
+
+Conv2dOp
+Conv2dOp::create(OpBuilder& builder, Value* input, Value* weight, Value* bias,
+                 int64_t stride, int64_t pad)
+{
+    const auto& in = input->type().shape();   // N, C, H, W
+    const auto& wt = weight->type().shape();  // O, I, KH, KW
+    HIDA_ASSERT(in.size() == 4 && wt.size() == 4, "conv2d rank mismatch");
+    HIDA_ASSERT(in[1] == wt[1], "conv2d channel mismatch: input C=", in[1],
+                " weight I=", wt[1]);
+    std::vector<int64_t> out = {in[0], wt[0],
+                                convOut(in[2], wt[2], stride, pad),
+                                convOut(in[3], wt[3], stride, pad)};
+    std::vector<Value*> operands = {input, weight};
+    if (bias != nullptr)
+        operands.push_back(bias);
+    Operation* op =
+        builder.create(kOpName, std::move(operands),
+                       {Type::tensor(out, input->type().elementType())});
+    op->setIntAttr("stride", stride);
+    op->setIntAttr("pad", pad);
+    return Conv2dOp(op);
+}
+
+DwConv2dOp
+DwConv2dOp::create(OpBuilder& builder, Value* input, Value* weight,
+                   int64_t stride, int64_t pad)
+{
+    const auto& in = input->type().shape();   // N, C, H, W
+    const auto& wt = weight->type().shape();  // C, 1, KH, KW
+    HIDA_ASSERT(in.size() == 4 && wt.size() == 4 && in[1] == wt[0],
+                "dwconv2d shape mismatch");
+    std::vector<int64_t> out = {in[0], in[1],
+                                convOut(in[2], wt[2], stride, pad),
+                                convOut(in[3], wt[3], stride, pad)};
+    Operation* op =
+        builder.create(kOpName, {input, weight},
+                       {Type::tensor(out, input->type().elementType())});
+    op->setIntAttr("stride", stride);
+    op->setIntAttr("pad", pad);
+    return DwConv2dOp(op);
+}
+
+MaxPoolOp
+MaxPoolOp::create(OpBuilder& builder, Value* input, int64_t kernel,
+                  int64_t stride)
+{
+    const auto& in = input->type().shape();
+    HIDA_ASSERT(in.size() == 4, "maxpool rank mismatch");
+    std::vector<int64_t> out = {in[0], in[1], convOut(in[2], kernel, stride, 0),
+                                convOut(in[3], kernel, stride, 0)};
+    Operation* op = builder.create(
+        kOpName, {input}, {Type::tensor(out, input->type().elementType())});
+    op->setIntAttr("kernel", kernel);
+    op->setIntAttr("stride", stride);
+    return MaxPoolOp(op);
+}
+
+AvgPoolOp
+AvgPoolOp::create(OpBuilder& builder, Value* input, int64_t kernel,
+                  int64_t stride)
+{
+    const auto& in = input->type().shape();
+    HIDA_ASSERT(in.size() == 4, "avgpool rank mismatch");
+    std::vector<int64_t> out = {in[0], in[1], convOut(in[2], kernel, stride, 0),
+                                convOut(in[3], kernel, stride, 0)};
+    Operation* op = builder.create(
+        kOpName, {input}, {Type::tensor(out, input->type().elementType())});
+    op->setIntAttr("kernel", kernel);
+    op->setIntAttr("stride", stride);
+    return AvgPoolOp(op);
+}
+
+LinearOp
+LinearOp::create(OpBuilder& builder, Value* input, Value* weight, Value* bias)
+{
+    const auto& in = input->type().shape();   // N, F
+    const auto& wt = weight->type().shape();  // O, F
+    HIDA_ASSERT(in.size() == 2 && wt.size() == 2 && in[1] == wt[1],
+                "linear shape mismatch: in F=", in.size() == 2 ? in[1] : -1,
+                " weight F=", wt.size() == 2 ? wt[1] : -1);
+    std::vector<Value*> operands = {input, weight};
+    if (bias != nullptr)
+        operands.push_back(bias);
+    Operation* op = builder.create(
+        kOpName, std::move(operands),
+        {Type::tensor({in[0], wt[0]}, input->type().elementType())});
+    return LinearOp(op);
+}
+
+ReluOp
+ReluOp::create(OpBuilder& builder, Value* input)
+{
+    return ReluOp(builder.create(kOpName, {input}, {input->type()}));
+}
+
+NnAddOp
+NnAddOp::create(OpBuilder& builder, Value* lhs, Value* rhs)
+{
+    HIDA_ASSERT(lhs->type().shape() == rhs->type().shape(),
+                "nn.add shape mismatch");
+    return NnAddOp(builder.create(kOpName, {lhs, rhs}, {lhs->type()}));
+}
+
+FlattenOp
+FlattenOp::create(OpBuilder& builder, Value* input)
+{
+    const auto& in = input->type().shape();
+    int64_t features = 1;
+    for (size_t i = 1; i < in.size(); ++i)
+        features *= in[i];
+    return FlattenOp(builder.create(
+        kOpName, {input},
+        {Type::tensor({in[0], features}, input->type().elementType())}));
+}
+
+ConcatOp
+ConcatOp::create(OpBuilder& builder, Value* lhs, Value* rhs)
+{
+    const auto& a = lhs->type().shape();
+    const auto& b = rhs->type().shape();
+    HIDA_ASSERT(a.size() == 4 && b.size() == 4 && a[2] == b[2] && a[3] == b[3],
+                "nn.concat shape mismatch");
+    return ConcatOp(builder.create(
+        kOpName, {lhs, rhs},
+        {Type::tensor({a[0], a[1] + b[1], a[2], a[3]},
+                      lhs->type().elementType())}));
+}
+
+UpsampleOp
+UpsampleOp::create(OpBuilder& builder, Value* input, int64_t scale)
+{
+    const auto& in = input->type().shape();
+    HIDA_ASSERT(in.size() == 4, "upsample rank mismatch");
+    Operation* op = builder.create(
+        kOpName, {input},
+        {Type::tensor({in[0], in[1], in[2] * scale, in[3] * scale},
+                      input->type().elementType())});
+    op->setIntAttr("scale", scale);
+    return UpsampleOp(op);
+}
+
+bool
+isNnOp(const Operation* op)
+{
+    return op->dialect() == "nn";
+}
+
+int64_t
+nnOpMacs(const Operation* op)
+{
+    auto out_elems = [&]() {
+        return const_cast<Operation*>(op)->result(0)->type().numElements();
+    };
+    if (auto conv = dynCast<Conv2dOp>(const_cast<Operation*>(op))) {
+        const auto& wt = conv.weight()->type().shape();
+        return out_elems() * wt[1] * wt[2] * wt[3];
+    }
+    if (auto dw = dynCast<DwConv2dOp>(const_cast<Operation*>(op))) {
+        const auto& wt = dw.weight()->type().shape();
+        return out_elems() * wt[2] * wt[3];
+    }
+    if (auto linear = dynCast<LinearOp>(const_cast<Operation*>(op)))
+        return out_elems() * linear.weight()->type().shape()[1];
+    return 0;
+}
+
+int64_t
+nnOpIntensity(const Operation* op)
+{
+    int64_t macs = nnOpMacs(op);
+    if (macs > 0)
+        return 2 * macs;
+    auto* mutable_op = const_cast<Operation*>(op);
+    if (mutable_op->numResults() == 0)
+        return 0;
+    int64_t out = mutable_op->result(0)->type().numElements();
+    if (auto pool = dynCast<MaxPoolOp>(mutable_op))
+        return out * pool.kernel() * pool.kernel();
+    if (auto pool = dynCast<AvgPoolOp>(mutable_op))
+        return out * pool.kernel() * pool.kernel();
+    // relu / add / flatten / concat / upsample: one op per output element.
+    return out;
+}
+
+void
+registerNnDialect()
+{
+    auto& registry = OpRegistry::instance();
+    for (const char* name :
+         {NnWeightOp::kOpName, Conv2dOp::kOpName, DwConv2dOp::kOpName,
+          MaxPoolOp::kOpName, AvgPoolOp::kOpName, LinearOp::kOpName,
+          ReluOp::kOpName, NnAddOp::kOpName, FlattenOp::kOpName,
+          ConcatOp::kOpName, UpsampleOp::kOpName})
+        registry.registerOp(name, OpInfo{});
+}
+
+} // namespace hida

@@ -1,0 +1,27 @@
+#include "src/ir/registry.h"
+
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/arith/arith_ops.h"
+#include "src/dialect/hida/hida_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/dialect/nn/nn_ops.h"
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+void
+registerAllDialects()
+{
+    static const bool once = [] {
+        registerBuiltinDialect();
+        registerArithDialect();
+        registerAffineDialect();
+        registerMemRefDialect();
+        registerNnDialect();
+        registerHidaDialect();
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace hida

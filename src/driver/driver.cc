@@ -1,0 +1,168 @@
+#include "src/driver/driver.h"
+
+#include <algorithm>
+
+#include "src/ir/registry.h"
+#include "src/ir/verifier.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+std::string
+flowName(Flow flow)
+{
+    switch (flow) {
+      case Flow::kHida:
+        return "HIDA";
+      case Flow::kScaleHls:
+        return "ScaleHLS";
+      case Flow::kVitis:
+        return "Vitis";
+    }
+    return "?";
+}
+
+FlowOptions
+optionsFor(Flow flow)
+{
+    FlowOptions options;
+    switch (flow) {
+      case Flow::kHida:
+        break;  // everything on
+      case Flow::kScaleHls:
+        options.enableTiling = false;
+        options.enableMultiProducerElim = false;
+        options.enableBalancing = false;
+        options.uniformParallelization = true;
+        options.strategy = {false, false};
+        break;
+      case Flow::kVitis:
+        options.enableDataflow = false;
+        options.enableTaskFusion = false;
+        options.enableTiling = false;
+        options.enableMultiProducerElim = false;
+        options.enableBalancing = false;
+        options.enableParallelization = false;
+        break;
+    }
+    return options;
+}
+
+bool
+scaleHlsSupports(ModuleOp module)
+{
+    bool supported = true;
+    module.op()->walk([&](Operation* op) {
+        if (op->name() == "nn.conv2d") {
+            int64_t kernel = op->operand(1)->type().shape().back();
+            int64_t stride = op->intAttrOr("stride", 1);
+            int64_t pad = op->intAttrOr("pad", 0);
+            // Irregular geometry: a large strided kernel without padding
+            // yields odd, non-power-of-two feature maps (ZFNet's 7x7/2 ->
+            // 109); ResNet's padded 7x7/2 stays regular.
+            if (kernel >= 5 && stride > 1 && pad == 0)
+                supported = false;
+        }
+        if (auto func = dynCast<FuncOp>(op)) {
+            for (unsigned i = 0; i < func.numArguments(); ++i) {
+                const auto& shape = func.argument(i)->type().shape();
+                if (shape.size() == 4 && shape[2] > 300)
+                    supported = false;  // high-resolution input (YOLO)
+            }
+        }
+    });
+    return supported;
+}
+
+CompileResult
+compile(ModuleOp module, const FlowOptions& options, const TargetDevice& device)
+{
+    registerAllDialects();
+    PassManager pm(/*verify_each=*/true);
+    if (options.enableDataflow)
+        pm.addPass(createFuncDataflowConstructPass());
+    if (options.enableTaskFusion)
+        pm.addPass(createTaskFusionPass(options));
+    pm.addPass(createLowerNnToAffinePass(options));
+    if (options.enableDataflow)
+        pm.addPass(createLowerToStructuralPass(options));
+    if (options.enableMultiProducerElim)
+        pm.addPass(createMultiProducerElimPass());
+    if (options.enableBalancing)
+        pm.addPass(createBalanceDataPathsPass(options));
+    if (options.enableParallelization)
+        pm.addPass(createParallelizePass(options));
+    pm.addPass(createArrayPartitionPass(options));
+    pm.addPass(createPipelineDirectivesPass());
+    pm.addPass(createCreateInterfacesPass());
+    pm.run(module);
+
+    CompileResult result;
+    result.compileSeconds = pm.totalSeconds();
+
+    FuncOp func(nullptr);
+    for (Operation* op : module.body()->ops())
+        if (auto f = dynCast<FuncOp>(op))
+            func = f;
+    HIDA_ASSERT(func, "module has no function to estimate");
+
+    QorEstimator estimator(device);
+    result.qor = estimator.estimateFunc(func);
+    result.feasible = result.qor.res.fits(device);
+    double overload = 0.0;
+    if (device.dsp > 0)
+        overload = std::max(overload,
+                            static_cast<double>(result.qor.res.dsp) /
+                                device.dsp);
+    if (device.bram18k > 0)
+        overload = std::max(overload,
+                            static_cast<double>(result.qor.res.bram18k) /
+                                device.bram18k);
+    if (device.lut > 0)
+        overload = std::max(overload,
+                            static_cast<double>(result.qor.res.lut) /
+                                device.lut);
+    result.overload = overload;
+    result.effectiveThroughput = result.qor.throughput(device);
+    if (overload > 1.0)
+        result.effectiveThroughput /= overload;
+    return result;
+}
+
+CompileResult
+compile(ModuleOp module, Flow flow, const TargetDevice& device)
+{
+    return compile(module, optionsFor(flow), device);
+}
+
+CompileResult
+compileAutoTuned(const std::function<OwnedModule()>& rebuild,
+                 const FlowOptions& base_options, const TargetDevice& device,
+                 int64_t max_pf)
+{
+    CompileResult best;
+    double total_compile = 0.0;
+    bool have_best = false;
+    int regressions = 0;
+    for (int64_t pf = 1; pf <= max_pf; pf *= 2) {
+        FlowOptions options = base_options;
+        options.maxParallelFactor = pf;
+        OwnedModule module = rebuild();
+        CompileResult result = compile(module.get(), options, device);
+        total_compile += result.compileSeconds;
+        // Rank by overload-degraded throughput: over-subscribed designs
+        // only win if the extra parallelism outruns the degradation.
+        if (!have_best ||
+            result.effectiveThroughput > best.effectiveThroughput * 1.02) {
+            best = result;
+            have_best = true;
+            regressions = 0;
+        } else if (++regressions >= 3) {
+            break;  // saturated: three factor doublings without progress
+        }
+    }
+    best.compileSeconds = total_compile;
+    return best;
+}
+
+} // namespace hida

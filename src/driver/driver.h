@@ -1,0 +1,82 @@
+#ifndef HIDA_DRIVER_DRIVER_H
+#define HIDA_DRIVER_DRIVER_H
+
+/**
+ * @file
+ * End-to-end compilation driver. Assembles the pass pipeline for one of
+ * the three evaluated flows and returns the optimized module together with
+ * its estimated QoR:
+ *
+ *  - Flow::kHida     — the full HIDA-OPT pipeline (Section 6).
+ *  - Flow::kScaleHls — the ScaleHLS baseline [70]: dataflow legalization
+ *    and per-node DSE, but no tiling/external memory, no multi-producer
+ *    elimination, no balancing, no IA/CA coupling.
+ *  - Flow::kVitis    — Vitis HLS alone: innermost-loop pipelining only.
+ */
+
+#include <functional>
+#include <string>
+
+#include "src/estimator/qor.h"
+#include "src/ir/builtin_ops.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+
+/** The three flows compared throughout the evaluation. */
+enum class Flow { kHida, kScaleHls, kVitis };
+
+/** Human-readable flow name. */
+std::string flowName(Flow flow);
+
+/** Default pipeline options for a flow. */
+FlowOptions optionsFor(Flow flow);
+
+/** Result of compiling + estimating one design. */
+struct CompileResult {
+    DesignQor qor;
+    double compileSeconds = 0.0;
+    /** Design fits the device budgets. */
+    bool feasible = true;
+    /** max(resource usage / budget) over LUT/DSP/BRAM. */
+    double overload = 0.0;
+    /**
+     * Throughput (samples/s) degraded by the overload factor when the
+     * design over-subscribes the device — the "flawed design" fallback the
+     * paper observes for the non-IA+CA arms (Section 7.3).
+     */
+    double effectiveThroughput = 0.0;
+};
+
+/**
+ * Run the @p options pipeline on @p module in place and estimate QoR on
+ * @p device. The module must contain one top-level function.
+ */
+CompileResult compile(ModuleOp module, const FlowOptions& options,
+                      const TargetDevice& device);
+
+/** Convenience overload using the flow's default options. */
+CompileResult compile(ModuleOp module, Flow flow, const TargetDevice& device);
+
+/**
+ * True when the ScaleHLS baseline can handle @p module. Mirrors the two
+ * documented limitations from the paper's Section 7.2: irregular
+ * convolution geometries (large kernels with stride > 1, as in ZFNet) and
+ * high-resolution inputs (as in YOLO) are unsupported.
+ */
+bool scaleHlsSupports(ModuleOp module);
+
+/**
+ * Auto-tune the maximum parallel factor for @p flow on @p device: sweeps
+ * powers of two and keeps the best feasible throughput, mirroring the
+ * paper's resource-guided factor generation (Section 6.5, step 3).
+ * @param rebuild builds a fresh copy of the input module per trial.
+ */
+CompileResult
+compileAutoTuned(const std::function<OwnedModule()>& rebuild,
+                 const FlowOptions& base_options, const TargetDevice& device,
+                 int64_t max_pf = 512);
+
+} // namespace hida
+
+#endif // HIDA_DRIVER_DRIVER_H

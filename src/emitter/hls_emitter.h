@@ -1,0 +1,27 @@
+#ifndef HIDA_EMITTER_HLS_EMITTER_H
+#define HIDA_EMITTER_HLS_EMITTER_H
+
+/**
+ * @file
+ * HLS C++ emitter: renders optimized Structural-dataflow IR as
+ * synthesizable-style C++ with Vitis HLS pragmas (dataflow regions,
+ * pipeline/unroll directives, array partitioning, AXI interfaces) — the
+ * final arrow of the Figure 3 flow.
+ */
+
+#include <ostream>
+#include <string>
+
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** Emit every function of @p module as HLS C++ to @p os. */
+void emitHlsCpp(ModuleOp module, std::ostream& os);
+
+/** Convenience: emit to a string. */
+std::string emitHlsCpp(ModuleOp module);
+
+} // namespace hida
+
+#endif // HIDA_EMITTER_HLS_EMITTER_H

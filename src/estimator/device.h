@@ -1,0 +1,101 @@
+#ifndef HIDA_ESTIMATOR_DEVICE_H
+#define HIDA_ESTIMATOR_DEVICE_H
+
+/**
+ * @file
+ * FPGA target device models. Budgets follow the public device tables for
+ * the three parts used in the paper's evaluation: the PYNQ-Z2 (Zynq-7020)
+ * for the LeNet case study, the ZU3EG for the PolyBench kernels, and one
+ * super logic region (SLR) of the VU9P for the DNN models.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace hida {
+
+/** Resource budget and interface characteristics of a target FPGA. */
+struct TargetDevice {
+    std::string name;
+    int64_t lut = 0;
+    int64_t ff = 0;
+    int64_t dsp = 0;
+    int64_t bram18k = 0;
+    double freqMhz = 200.0;
+    /** Burst setup latency of the external AXI interface (cycles). */
+    int64_t axiLatencyCycles = 80;
+    /** Peak external bandwidth in bytes per cycle per port. */
+    int64_t axiBytesPerCycle = 16;
+    /** Minimum burst length (elements) for full bandwidth efficiency. */
+    int64_t minBurstElems = 16;
+
+    /** AMD PYNQ-Z2 (Zynq-7020), the Section 2 case-study board. */
+    static TargetDevice
+    pynqZ2()
+    {
+        return {"pynq-z2", 53200, 106400, 220, 280, 100.0, 64, 8, 16};
+    }
+
+    /** AMD-Xilinx ZU3EG, the Table 7 kernel platform. */
+    static TargetDevice
+    zu3eg()
+    {
+        return {"zu3eg", 70560, 141120, 360, 432, 200.0, 80, 16, 16};
+    }
+
+    /** One SLR of an AMD-Xilinx VU9P, the Table 8 DNN platform. */
+    static TargetDevice
+    vu9pSlr()
+    {
+        return {"vu9p-slr", 394080, 788160, 2280, 1440, 200.0, 80, 32, 16};
+    }
+};
+
+/** Resource usage vector. */
+struct Resources {
+    int64_t lut = 0;
+    int64_t ff = 0;
+    int64_t dsp = 0;
+    int64_t bram18k = 0;
+
+    Resources&
+    operator+=(const Resources& other)
+    {
+        lut += other.lut;
+        ff += other.ff;
+        dsp += other.dsp;
+        bram18k += other.bram18k;
+        return *this;
+    }
+
+    Resources
+    scaled(int64_t factor) const
+    {
+        return {lut * factor, ff * factor, dsp * factor, bram18k * factor};
+    }
+
+    /** Utilization as max(BRAM%, DSP%, LUT%) — the Figure 1 x-axis. */
+    double
+    utilization(const TargetDevice& device) const
+    {
+        double u = 0.0;
+        if (device.lut > 0)
+            u = std::max(u, static_cast<double>(lut) / device.lut);
+        if (device.dsp > 0)
+            u = std::max(u, static_cast<double>(dsp) / device.dsp);
+        if (device.bram18k > 0)
+            u = std::max(u, static_cast<double>(bram18k) / device.bram18k);
+        return u;
+    }
+
+    bool
+    fits(const TargetDevice& device) const
+    {
+        return lut <= device.lut && ff <= device.ff && dsp <= device.dsp &&
+               bram18k <= device.bram18k;
+    }
+};
+
+} // namespace hida
+
+#endif // HIDA_ESTIMATOR_DEVICE_H

@@ -1,0 +1,644 @@
+#include "src/estimator/qor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/dataflow_graph.h"
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/arith/arith_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/sim/dataflow_sim.h"
+#include "src/support/diagnostics.h"
+#include "src/support/utils.h"
+
+namespace hida {
+
+namespace {
+
+constexpr int64_t kLoopOverhead = 2;     ///< Enter/exit cycles per loop.
+constexpr int64_t kPipelineDepthBase = 4;
+
+/** Product of trips of loops tagged "tile_loop" whose nearest enclosing
+ * node is @p node (tile loops of nested sub-nodes belong to those). */
+int64_t
+tileFrames(NodeOp node)
+{
+    int64_t frames = 1;
+    node.op()->walk([&](Operation* op) {
+        if (isa<ForOp>(op) && op->hasAttr("tile_loop") &&
+            op->parentOfName(NodeOp::kOpName) == node.op())
+            frames *= ForOp(op).tripCount();
+    });
+    return std::max<int64_t>(frames, 1);
+}
+
+/** True if the loop body carries a load-accumulate-store recurrence. */
+bool
+hasAccumulation(Block* body)
+{
+    for (Operation* op : body->ops()) {
+        if (auto store = dynCast<StoreOp>(op)) {
+            // Does any load in the same block read the same memref?
+            for (Operation* other : body->ops()) {
+                if (other->name() == LoadOp::kOpName &&
+                    other->operand(0) == store.memref())
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+BufferOp
+QorEstimator::resolveBuffer(Value* value)
+{
+    // Chase through node/schedule block arguments to the defining buffer.
+    while (value != nullptr) {
+        if (!value->isBlockArgument()) {
+            Operation* def = value->definingOp();
+            if (def != nullptr && isa<BufferOp>(def))
+                return BufferOp(def);
+            return BufferOp(nullptr);
+        }
+        Operation* parent = value->ownerBlock()->parentOp();
+        if (parent == nullptr ||
+            (!isa<NodeOp>(parent) && !isa<ScheduleOp>(parent)))
+            return BufferOp(nullptr);
+        if (value->index() >= parent->numOperands())
+            return BufferOp(nullptr);
+        value = parent->operand(value->index());
+    }
+    return BufferOp(nullptr);
+}
+
+int64_t
+QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosing)
+{
+    // Collect per-buffer port pressure with alignment awareness.
+    std::map<Value*, double> pressure;
+    std::map<Value*, bool> misaligned;
+
+    // First pass: for buffers that have not been partitioned yet, predict
+    // the per-dim factors the ArrayPartition pass will derive from the
+    // current unroll factors (max of unroll * |stride| over this region's
+    // access sites). This lets the DSE anticipate both the banking *and*
+    // the misalignment penalties its factor choices will incur.
+    std::map<Value*, std::vector<int64_t>> predicted;
+    body->parentOp()->walk([&](Operation* op) {
+        Value* memref = nullptr;
+        std::vector<Value*> indices;
+        if (op->name() == LoadOp::kOpName ||
+            op->name() == "affine.load_padded") {
+            LoadOp load(op);
+            memref = load.memref();
+            for (unsigned i = 0; i < load.numIndices(); ++i)
+                indices.push_back(load.index(i));
+        } else if (auto store = dynCast<StoreOp>(op)) {
+            memref = store.memref();
+            for (unsigned i = 0; i < store.numIndices(); ++i)
+                indices.push_back(store.index(i));
+        } else {
+            return;
+        }
+        BufferOp buffer = resolveBuffer(memref);
+        if (!buffer || buffer.op()->hasAttr("partition_factors"))
+            return;
+        auto& factors = predicted[memref];
+        factors.resize(memref->type().shape().size(), 1);
+        for (size_t d = 0; d < indices.size(); ++d) {
+            auto expr = decomposeIndex(indices[d]);
+            if (!expr)
+                continue;
+            for (const AffineTerm& term : expr->terms) {
+                Operation* loop_op = term.iv->ownerBlock()->parentOp();
+                if (loop_op == nullptr || !isa<ForOp>(loop_op))
+                    continue;
+                int64_t unroll = ForOp(loop_op).unrollFactor();
+                if (unroll <= 1)
+                    continue;
+                factors[d] = std::max(
+                    factors[d],
+                    std::min(memref->type().shape()[d],
+                             unroll * std::max<int64_t>(
+                                          std::abs(term.coeff), 1)));
+            }
+        }
+    });
+
+    auto account = [&](Operation* access, Value* memref,
+                       const std::vector<Value*>& indices) {
+        (void)access;
+        BufferOp buffer = resolveBuffer(memref);
+        std::vector<int64_t> factors;
+        if (auto it = predicted.find(memref); it != predicted.end()) {
+            factors = it->second;
+        } else if (buffer) {
+            factors = buffer.partitionFactors();
+            // A vectorized word serves several contiguous accesses.
+            if (!factors.empty())
+                factors.back() *= buffer.vectorFactor();
+        } else {
+            factors.assign(memref->type().shape().size(), 1);
+        }
+        // Which dims does each enclosing unrolled loop index?
+        double conflict = 1.0;
+        for (ForOp loop : enclosing) {
+            int64_t unroll = loop.unrollFactor();
+            if (unroll <= 1)
+                continue;
+            bool indexes = false;
+            for (size_t d = 0; d < indices.size(); ++d) {
+                auto expr = decomposeIndex(indices[d]);
+                if (!expr)
+                    continue;
+                int64_t coeff = expr->coeffOf(loop.inductionVar());
+                if (coeff == 0)
+                    continue;
+                indexes = true;
+                int64_t banks = d < factors.size() ? factors[d] : 1;
+                if (banks % unroll == 0 || unroll % banks == 0) {
+                    conflict *= std::max<int64_t>(1, ceilDiv(unroll, banks));
+                } else {
+                    // Unaligned unroll/partition: the accesses serialize and
+                    // the compiler emits bank-steering control logic.
+                    conflict *= unroll;
+                    misaligned[memref] = true;
+                }
+                break;
+            }
+            if (!indexes) {
+                // Loop replicates the access but every copy hits the same
+                // address: reads broadcast, a single port suffices.
+                continue;
+            }
+        }
+        pressure[memref] += conflict;
+    };
+
+    body->parentOp()->walk([&](Operation* op) {
+        if (op->name() == LoadOp::kOpName ||
+            op->name() == "affine.load_padded") {
+            LoadOp load(op);
+            std::vector<Value*> indices;
+            for (unsigned i = 0; i < load.numIndices(); ++i)
+                indices.push_back(load.index(i));
+            account(op, load.memref(), indices);
+        } else if (auto store = dynCast<StoreOp>(op)) {
+            std::vector<Value*> indices;
+            for (unsigned i = 0; i < store.numIndices(); ++i)
+                indices.push_back(store.index(i));
+            account(op, store.memref(), indices);
+        }
+    });
+
+    int64_t ii = 1;
+    for (const auto& [memref, p] : pressure) {
+        if (memref->type().memorySpace() == MemorySpace::kExternal)
+            continue;  // handled by the bandwidth model
+        // True dual-port BRAM: two accesses per bank per cycle.
+        int64_t mem_ii = static_cast<int64_t>(std::ceil(p / 2.0));
+        if (misaligned.count(memref))
+            mem_ii *= 2;  // bank-steering muxes add a pipeline bubble
+        ii = std::max(ii, mem_ii);
+    }
+
+    // Loop-carried accumulation recurrence.
+    if (hasAccumulation(body)) {
+        Type elem;
+        for (Operation* op : body->ops())
+            if (isa<StoreOp>(op))
+                elem = StoreOp(op).value()->type();
+        int64_t dep = elem && elem.isFloat() ? 5 : 1;
+        ii = std::max(ii, dep);
+    }
+    return ii;
+}
+
+QorEstimator::BlockCost
+QorEstimator::costOfLoopNest(ForOp loop)
+{
+    BlockCost cost;
+    std::vector<ForOp> nest = perfectNest(loop);
+    Block* deepest = nest.back().body();
+
+    bool flat_pipeline = true;
+    for (Operation* op : deepest->ops()) {
+        if (isa<ForOp>(op)) {
+            flat_pipeline = false;
+            break;
+        }
+    }
+
+    // Collect unroll replication for resources along the way.
+    int64_t unroll_product = 1;
+    int64_t iters = 1;
+    for (ForOp level : nest) {
+        int64_t unroll =
+            std::min<int64_t>(level.unrollFactor(), level.tripCount());
+        unroll_product *= unroll;
+        iters *= ceilDiv(level.tripCount(), unroll);
+    }
+
+    // Resource + per-iteration depth of the deepest block's scalar ops.
+    BlockCost body_cost = costOfBlock(deepest);
+    cost.res = body_cost.res.scaled(unroll_product);
+
+    std::vector<ForOp> enclosing = enclosingLoops(deepest->parentOp());
+    enclosing.push_back(ForOp(deepest->parentOp()));
+
+    if (flat_pipeline) {
+        int64_t ii = initiationInterval(deepest, enclosing);
+        // Streaming copies between external memory and on-chip buffers are
+        // implemented as wide data movers: one AXI word (several elements)
+        // per cycle instead of one element per cycle.
+        int64_t ld = 0, st = 0, other = 0;
+        bool touches_external = false;
+        unsigned bits = 8;
+        for (Operation* op : deepest->ops()) {
+            if (op->name() == LoadOp::kOpName ||
+                op->name() == "affine.load_padded") {
+                ++ld;
+                if (op->operand(0)->type().memorySpace() ==
+                    MemorySpace::kExternal)
+                    touches_external = true;
+                bits = op->operand(0)->type().elementType().bitWidth();
+            } else if (isa<StoreOp>(op)) {
+                ++st;
+                if (op->operand(1)->type().memorySpace() ==
+                    MemorySpace::kExternal)
+                    touches_external = true;
+            } else if (!isa<ApplyOp>(op) && !isa<ConstantOp>(op)) {
+                ++other;
+            }
+        }
+        if (ld == 1 && st == 1 && other == 0 && touches_external) {
+            int64_t epc = std::max<int64_t>(
+                1, device_.axiBytesPerCycle * 8 / std::max<unsigned>(bits, 1));
+            iters = ceilDiv(iters, epc);
+        }
+        int64_t depth = kPipelineDepthBase + body_cost.latency;
+        cost.latency = (iters - 1) * ii + depth + kLoopOverhead;
+        nest.back().op()->setIntAttr("ii", ii);
+    } else {
+        // Imperfect: iterate the body cost (which recurses into sub-nests).
+        cost.latency = iters * body_cost.latency + kLoopOverhead;
+    }
+
+    return cost;
+}
+
+QorEstimator::ExtCost
+QorEstimator::externalCost(Operation* root)
+{
+    // Streaming-DMA model with line buffering: each external access site
+    // moves the distinct footprint it touches (per-dim index spans), times
+    // a reload factor for tile loops that enclose the site but do not
+    // appear in its index expressions (redundant tile refetch). Runs
+    // shorter than the efficient burst length pay per-burst latency and
+    // need extra address-generation logic (the Fig. 10 small-tile effects).
+    ExtCost total;
+    root->walk([&](Operation* op) {
+        Value* memref = nullptr;
+        std::vector<Value*> indices;
+        if (op->name() == LoadOp::kOpName ||
+            op->name() == "affine.load_padded") {
+            LoadOp load(op);
+            memref = load.memref();
+            for (unsigned i = 0; i < load.numIndices(); ++i)
+                indices.push_back(load.index(i));
+        } else if (auto store = dynCast<StoreOp>(op)) {
+            memref = store.memref();
+            for (unsigned i = 0; i < store.numIndices(); ++i)
+                indices.push_back(store.index(i));
+        } else {
+            return;
+        }
+        if (memref->type().memorySpace() != MemorySpace::kExternal)
+            return;
+
+        const auto& shape = memref->type().shape();
+        std::vector<Value*> used_ivs;
+        std::vector<int64_t> spans;
+        int64_t distinct = 1;
+        for (size_t d = 0; d < indices.size(); ++d) {
+            auto expr = decomposeIndex(indices[d]);
+            int64_t span = 1;
+            if (expr) {
+                for (const AffineTerm& term : expr->terms) {
+                    Operation* loop_op = term.iv->ownerBlock()->parentOp();
+                    if (loop_op != nullptr && isa<ForOp>(loop_op)) {
+                        span += (ForOp(loop_op).tripCount() - 1) *
+                                std::abs(term.coeff);
+                        used_ivs.push_back(term.iv);
+                    }
+                }
+            }
+            span = std::min<int64_t>(span, shape[d]);
+            distinct *= span;
+            spans.push_back(span);
+        }
+        // Contiguous run: trailing dims extend the run while they are
+        // fully covered (row-major layout).
+        int64_t last_span = 1;
+        for (size_t d = spans.size(); d-- > 0;) {
+            last_span *= spans[d];
+            if (spans[d] < shape[d])
+                break;
+        }
+        int64_t reload = 1;
+        for (ForOp loop : enclosingLoops(op)) {
+            if (!loop.op()->hasAttr("tile_loop"))
+                continue;
+            if (std::find(used_ivs.begin(), used_ivs.end(),
+                          loop.inductionVar()) == used_ivs.end())
+                reload *= loop.tripCount();
+        }
+        int64_t elements = distinct * reload;
+        int64_t run = std::max<int64_t>(last_span, 1);
+        total.elements += elements;
+        total.bursts += ceilDiv(elements, run);
+        total.minRun = std::min(total.minRun, run);
+        total.bits = memref->type().elementType().bitWidth();
+        total.sites += 1;
+    });
+    return total;
+}
+
+QorEstimator::BlockCost
+QorEstimator::costOfBlock(Block* block)
+{
+    BlockCost cost;
+    for (Operation* op : block->ops()) {
+        if (auto loop = dynCast<ForOp>(op)) {
+            BlockCost nest = costOfLoopNest(loop);
+            cost.latency += nest.latency;
+            cost.res += nest.res;
+        } else if (auto schedule = dynCast<ScheduleOp>(op)) {
+            DesignQor q = estimateSchedule(ScheduleOp(op));
+            cost.latency += q.latencyCycles;
+            cost.res += q.res;
+            (void)schedule;
+        } else if (auto buffer = dynCast<BufferOp>(op)) {
+            cost.res += bufferResources(buffer);
+        } else if (auto node = dynCast<NodeOp>(op)) {
+            DesignQor q = estimateNode(node);
+            cost.latency += q.latencyCycles;
+            cost.res += q.res;
+        } else if (auto copy = dynCast<CopyOp>(op)) {
+            // Wide on-chip copies move one element per cycle per port pair.
+            int64_t elems = copy.source()->type().numElements();
+            cost.latency += elems / 2 + kLoopOverhead;
+            cost.res.lut += 60;
+            cost.res.ff += 80;
+        } else if (isa<BinaryOp>(op)) {
+            OpHwCost hw = scalarOpCost(op->name(), op->operand(0)->type());
+            cost.latency += hw.latency;
+            cost.res += {hw.lut, hw.ff, hw.dsp, 0};
+        } else if (isa<ApplyOp>(op)) {
+            // Constant-coefficient address arithmetic maps to LUT
+            // shift-adds; DSP-based address generation only appears in the
+            // fine-grained external access engines (see externalCost).
+            cost.res.lut += op->numOperands() >= 2 ? 40 : 16;
+        } else if (op->name() == LoadOp::kOpName ||
+                   op->name() == "affine.load_padded" ||
+                   isa<StoreOp>(op)) {
+            cost.latency += 1;
+            cost.res.lut += 12;
+        } else if (op->name() == StreamReadOp::kOpName ||
+                   op->name() == StreamWriteOp::kOpName) {
+            cost.latency += 1;
+            cost.res.lut += 20;
+        }
+    }
+    return cost;
+}
+
+Resources
+QorEstimator::bufferResources(BufferOp buffer)
+{
+    Resources res;
+    Type type = buffer.type();
+    if (type.memorySpace() == MemorySpace::kExternal)
+        return res;  // lives in DRAM; only the AXI adapters cost logic
+    int64_t banks = std::max<int64_t>(buffer.bankCount(), 1);
+    int64_t elems = std::max<int64_t>(type.numElements(), 1);
+    int64_t bits = type.elementType().bitWidth();
+    int64_t stages = std::max<int64_t>(buffer.stages(), 1);
+    int64_t per_bank_elems = ceilDiv(elems, banks);
+    int64_t per_bank_bits = per_bank_elems * bits;
+    if (per_bank_bits <= 4096) {
+        // Small banks map to distributed LUTRAM, as Vitis does.
+        res.lut += banks * stages * (per_bank_bits / 64 + 8);
+        res.ff += banks * stages * 8;
+    } else {
+        int64_t bram_per_bank =
+            std::max<int64_t>(1, ceilDiv(per_bank_bits, 18 * 1024));
+        res.bram18k = banks * bram_per_bank * stages;
+    }
+    // Banking muxes.
+    res.lut += 12 * banks;
+    res.ff += 8 * banks;
+    return res;
+}
+
+int64_t
+QorEstimator::bramOf(Operation* root)
+{
+    int64_t total = 0;
+    root->walk([&](Operation* op) {
+        if (auto buffer = dynCast<BufferOp>(op))
+            total += bufferResources(buffer).bram18k;
+    });
+    return total;
+}
+
+void
+QorEstimator::applyExternalCost(const ExtCost& ext, int64_t& latency,
+                                Resources& res)
+{
+    if (ext.sites == 0)
+        return;
+    int64_t elems_per_cycle =
+        std::max<int64_t>(1, device_.axiBytesPerCycle * 8 /
+                                 std::max<unsigned>(ext.bits, 1));
+    int64_t bw = ext.elements / elems_per_cycle +
+                 ext.bursts * device_.axiLatencyCycles;
+    latency = std::max(latency, bw);
+    // Fine-grained access engines: short runs need burst splitters with
+    // their own address generators (Fig. 10's small-tile DSP inflation).
+    int64_t run = ext.minRun == INT64_MAX ? device_.minBurstElems
+                                          : ext.minRun;
+    int64_t splitters =
+        ext.sites * ceilDiv(device_.minBurstElems, std::max<int64_t>(run, 1));
+    res.dsp += 2 * splitters;
+    res.lut += 110 * splitters;
+    res.ff += 140 * splitters;
+}
+
+DesignQor
+QorEstimator::estimateNode(NodeOp node)
+{
+    DesignQor qor;
+    BlockCost cost = costOfBlock(node.body());
+    qor.latencyCycles = std::max<int64_t>(cost.latency, 1);
+    qor.res = cost.res;
+    // Nodes touching external memory are bounded by the AXI bandwidth;
+    // nested sub-schedules account for their own nodes' traffic.
+    bool has_sub_schedule = false;
+    for (Operation* op : node.body()->ops())
+        if (isa<ScheduleOp>(op))
+            has_sub_schedule = true;
+    if (!has_sub_schedule)
+        applyExternalCost(externalCost(node.op()), qor.latencyCycles,
+                          qor.res);
+    qor.intervalCycles = static_cast<double>(qor.latencyCycles);
+    return qor;
+}
+
+DesignQor
+QorEstimator::estimateLoop(ForOp loop)
+{
+    DesignQor qor;
+    BlockCost cost = costOfLoopNest(loop);
+    applyExternalCost(externalCost(loop.op()), cost.latency, cost.res);
+    qor.latencyCycles = std::max<int64_t>(cost.latency, 1);
+    qor.intervalCycles = static_cast<double>(qor.latencyCycles);
+    qor.res = cost.res;
+    return qor;
+}
+
+DesignQor
+QorEstimator::estimateSchedule(ScheduleOp schedule)
+{
+    DesignQor qor;
+    DataflowGraph graph(schedule);
+    std::vector<NodeOp> nodes = graph.topoOrder();
+
+    // Per-node frame counts and per-frame latencies.
+    int64_t frames = 1;
+    std::vector<int64_t> per_frame;
+    for (NodeOp node : nodes) {
+        DesignQor node_qor = estimateNode(node);
+        qor.res += node_qor.res;
+        int64_t tiles = tileFrames(node);
+        frames = std::max(frames, tiles);
+        per_frame.push_back(
+            std::max<int64_t>(1, node_qor.latencyCycles / std::max<int64_t>(
+                                     tiles, 1)));
+    }
+    // Non-node content (buffers, streams) contributes resources only.
+    for (Operation* op : schedule.body()->ops()) {
+        if (auto buffer = dynCast<BufferOp>(op))
+            qor.res += bufferResources(buffer);
+    }
+    if (nodes.empty())
+        return qor;
+
+    // Multi-producer violation => sequential execution (Section 6.4.1).
+    bool sequential = false;
+    std::vector<Value*> channels = graph.internalChannels();
+    auto external = graph.externalChannels();
+    channels.insert(channels.end(), external.begin(), external.end());
+    for (Value* channel : channels)
+        if (graph.producersOf(channel).size() > 1)
+            sequential = true;
+
+    // Build the simulation graph.
+    SimGraph sim;
+    sim.sequential = sequential;
+    std::map<Value*, int> channel_index;
+    if (!sequential) {
+        for (Value* channel : channels) {
+            if (graph.producersOf(channel).empty())
+                continue;  // pure inputs impose no ordering
+            int64_t capacity = 1;
+            if (auto buffer = resolveBuffer(channel)) {
+                capacity = buffer.stages();
+                capacity = std::max<int64_t>(
+                    capacity, buffer.op()->intAttrOr("soft_fifo_depth", 1));
+            } else if (channel->type().isStream()) {
+                capacity = std::max<int64_t>(channel->type().streamDepth(), 1);
+            }
+            channel_index[channel] = static_cast<int>(sim.channels.size());
+            sim.channels.push_back({capacity});
+        }
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        SimNode sim_node;
+        sim_node.latency = per_frame[i];
+        if (!sequential) {
+            for (unsigned oi = 0; oi < nodes[i].op()->numOperands(); ++oi) {
+                Value* channel = nodes[i].op()->operand(oi);
+                auto it = channel_index.find(channel);
+                if (it == channel_index.end())
+                    continue;
+                bool is_producer =
+                    !graph.producersOf(channel).empty() &&
+                    graph.producersOf(channel).front().op() == nodes[i].op();
+                if (is_producer && nodes[i].writes(oi))
+                    sim_node.outputs.push_back(it->second);
+                else if (nodes[i].reads(oi))
+                    sim_node.inputs.push_back(it->second);
+            }
+        }
+        sim.nodes.push_back(sim_node);
+    }
+
+    SimResult result = simulate(sim);
+    if (sequential) {
+        int64_t total = 0;
+        for (int64_t l : per_frame)
+            total += l;
+        qor.latencyCycles = total * frames;
+        qor.intervalCycles = static_cast<double>(qor.latencyCycles);
+        return qor;
+    }
+    qor.latencyCycles =
+        result.frameLatency +
+        static_cast<int64_t>((frames - 1) * result.steadyInterval);
+    qor.intervalCycles = frames * result.steadyInterval;
+    return qor;
+}
+
+DesignQor
+QorEstimator::estimateFunc(FuncOp func)
+{
+    DesignQor qor;
+    double interval = 0.0;
+    BlockCost top;
+    for (Operation* op : func.body()->ops()) {
+        if (auto schedule = dynCast<ScheduleOp>(op)) {
+            DesignQor q = estimateSchedule(schedule);
+            qor.res += q.res;
+            qor.latencyCycles += q.latencyCycles;
+            interval = std::max(interval, q.intervalCycles);
+        } else if (auto loop = dynCast<ForOp>(op)) {
+            BlockCost cost = costOfLoopNest(loop);
+            applyExternalCost(externalCost(loop.op()), cost.latency,
+                              cost.res);
+            qor.res += cost.res;
+            qor.latencyCycles += cost.latency;
+        } else if (auto buffer = dynCast<BufferOp>(op)) {
+            qor.res += bufferResources(buffer);
+        } else if (auto node = dynCast<NodeOp>(op)) {
+            DesignQor q = estimateNode(node);
+            qor.res += q.res;
+            qor.latencyCycles += q.latencyCycles;
+        }
+        (void)top;
+    }
+    // Without dataflow overlap, the interval equals the latency.
+    qor.intervalCycles =
+        interval > 0.0 ? std::max(interval, 1.0)
+                       : static_cast<double>(std::max<int64_t>(
+                             qor.latencyCycles, 1));
+    // A design whose body mixes schedules and stray nests is bounded by the
+    // sequential part.
+    if (interval > 0.0 && qor.latencyCycles > 0)
+        qor.intervalCycles = std::max(qor.intervalCycles, interval);
+    return qor;
+}
+
+} // namespace hida

@@ -1,0 +1,101 @@
+#ifndef HIDA_ESTIMATOR_QOR_H
+#define HIDA_ESTIMATOR_QOR_H
+
+/**
+ * @file
+ * Analytic quality-of-results estimator — the stand-in for AMD Vitis HLS
+ * synthesis reports (see DESIGN.md substitutions). Models:
+ *  - pipelined loop-nest latency with initiation intervals derived from
+ *    memory-port pressure (partition banks x dual ports), recurrence
+ *    latency, and partition/unroll misalignment penalties;
+ *  - external (AXI) access cost with burst efficiency, so small tiles pay
+ *    latency-dominated transfers (Fig. 10's bandwidth observations);
+ *  - resource usage: DSP/LUT/FF replication under unrolling, BRAM banks
+ *    from array partitioning, address-generation overhead for fine-grained
+ *    external access;
+ *  - dataflow steady-state intervals via the frame-level simulator,
+ *    including sequentialization under multi-producer violations.
+ */
+
+#include <map>
+
+#include "src/dialect/hida/hida_ops.h"
+#include "src/estimator/device.h"
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** QoR of a design or sub-design. */
+struct DesignQor {
+    int64_t latencyCycles = 0;    ///< One full inference/sample.
+    double intervalCycles = 0.0;  ///< Steady-state cycles per sample.
+    Resources res;
+
+    /** Samples per second at the device clock. */
+    double
+    throughput(const TargetDevice& device) const
+    {
+        if (intervalCycles <= 0.0)
+            return 0.0;
+        return device.freqMhz * 1e6 / intervalCycles;
+    }
+};
+
+/** Estimates latency, interval and resources of Structural-dataflow IR. */
+class QorEstimator {
+  public:
+    explicit QorEstimator(TargetDevice device) : device_(std::move(device)) {}
+
+    const TargetDevice& device() const { return device_; }
+
+    /** Estimate the design rooted at @p func (body latency + resources). */
+    DesignQor estimateFunc(FuncOp func);
+
+    /** Estimate one node in isolation (used by the intra-node DSE). */
+    DesignQor estimateNode(NodeOp node);
+
+    /** Estimate one standalone loop nest (kernels without dataflow). */
+    DesignQor estimateLoop(class ForOp loop);
+
+    /** Estimate a schedule: steady-state interval across its frames. */
+    DesignQor estimateSchedule(ScheduleOp schedule);
+
+    /** On-chip memory (BRAM18K) of every buffer under @p root. */
+    int64_t bramOf(Operation* root);
+
+    /** Partition info of the buffer feeding @p value (through node args). */
+    BufferOp resolveBuffer(Value* value);
+
+  private:
+    struct BlockCost {
+        int64_t latency = 0;
+        Resources res;
+    };
+
+    /** External (AXI) traffic summary of a subtree. */
+    struct ExtCost {
+        int64_t elements = 0;          ///< Elements moved over AXI.
+        int64_t bursts = 0;            ///< Number of bursts issued.
+        int64_t minRun = INT64_MAX;    ///< Shortest contiguous run.
+        unsigned bits = 8;             ///< Element width.
+        int64_t sites = 0;             ///< Access sites.
+    };
+
+    ExtCost externalCost(Operation* root);
+    /** Apply the ExtCost bandwidth bound + adapter resources to a cost. */
+    void applyExternalCost(const ExtCost& ext, int64_t& latency,
+                           Resources& res);
+
+    BlockCost costOfBlock(Block* block);
+    BlockCost costOfLoopNest(class ForOp loop);
+    /** II of a pipelined innermost body given enclosing unrolled loops. */
+    int64_t initiationInterval(Block* body,
+                               const std::vector<class ForOp>& enclosing);
+    Resources bufferResources(BufferOp buffer);
+
+    TargetDevice device_;
+};
+
+} // namespace hida
+
+#endif // HIDA_ESTIMATOR_QOR_H

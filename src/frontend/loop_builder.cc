@@ -1,0 +1,107 @@
+#include "src/frontend/loop_builder.h"
+
+#include "src/ir/registry.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+KernelBuilder::KernelBuilder(const std::string& name, Type element)
+    : element_(element)
+{
+    registerAllDialects();
+    builder_.setInsertionPointToEnd(module_.get().body());
+    func_ = FuncOp::create(builder_, name, {});
+    builder_.setInsertionPointToEnd(func_.body());
+}
+
+Value*
+KernelBuilder::arg(std::vector<int64_t> shape, const std::string& hint)
+{
+    Value* value = func_.body()->addArgument(
+        Type::memref(std::move(shape), element_, MemorySpace::kOnChip), hint);
+    return value;
+}
+
+Value*
+KernelBuilder::local(std::vector<int64_t> shape, const std::string& hint)
+{
+    OpBuilder::InsertionGuard guard(builder_);
+    builder_.setInsertionPointToStart(func_.body());
+    return AllocOp::create(
+               builder_,
+               Type::memref(std::move(shape), element_, MemorySpace::kOnChip),
+               hint)
+        .op()
+        ->result(0);
+}
+
+void
+KernelBuilder::nest(
+    const std::vector<int64_t>& extents,
+    const std::function<void(OpBuilder&, const std::vector<Value*>&)>& body)
+{
+    OpBuilder::InsertionGuard guard(builder_);
+    std::vector<Value*> ivs;
+    for (int64_t extent : extents) {
+        ForOp loop = ForOp::create(builder_, 0, extent);
+        ivs.push_back(loop.inductionVar());
+        builder_.setInsertionPointToEnd(loop.body());
+    }
+    body(builder_, ivs);
+}
+
+Value*
+KernelBuilder::load(OpBuilder& b, Value* memref, std::vector<Value*> idx)
+{
+    return LoadOp::create(b, memref, std::move(idx)).op()->result(0);
+}
+
+void
+KernelBuilder::store(OpBuilder& b, Value* value, Value* memref,
+                     std::vector<Value*> idx)
+{
+    StoreOp::create(b, value, memref, std::move(idx));
+}
+
+Value*
+KernelBuilder::mul(OpBuilder& b, Value* lhs, Value* rhs)
+{
+    return BinaryOp::create(b, BinaryKind::kMul, lhs, rhs).op()->result(0);
+}
+
+Value*
+KernelBuilder::add(OpBuilder& b, Value* lhs, Value* rhs)
+{
+    return BinaryOp::create(b, BinaryKind::kAdd, lhs, rhs).op()->result(0);
+}
+
+Value*
+KernelBuilder::sub(OpBuilder& b, Value* lhs, Value* rhs)
+{
+    return BinaryOp::create(b, BinaryKind::kSub, lhs, rhs).op()->result(0);
+}
+
+Value*
+KernelBuilder::constant(OpBuilder& b, Type type, double value)
+{
+    return ConstantOp::create(b, type, value).op()->result(0);
+}
+
+Value*
+KernelBuilder::apply(OpBuilder& b, std::vector<Value*> ivs,
+                     std::vector<int64_t> coeffs, int64_t offset)
+{
+    return ApplyOp::create(b, std::move(ivs), std::move(coeffs), offset)
+        .op()
+        ->result(0);
+}
+
+OwnedModule
+KernelBuilder::takeModule()
+{
+    HIDA_ASSERT(!finished_, "module already taken");
+    finished_ = true;
+    return std::move(module_);
+}
+
+} // namespace hida

@@ -1,0 +1,69 @@
+#ifndef HIDA_FRONTEND_LOOP_BUILDER_H
+#define HIDA_FRONTEND_LOOP_BUILDER_H
+
+/**
+ * @file
+ * C++-kernel builder — the stand-in for the Polygeist front-end (see
+ * DESIGN.md substitutions). Builds functions whose bodies are affine loop
+ * nests over memref arguments, i.e. exactly the static-control IR Polygeist
+ * produces from the PolyBench C sources.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/arith/arith_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** Builds one kernel function with loop-nest helpers. */
+class KernelBuilder {
+  public:
+    explicit KernelBuilder(const std::string& name, Type element = Type::f32());
+
+    /** Declare a memref argument (kernel I/O array, on-chip by default). */
+    Value* arg(std::vector<int64_t> shape, const std::string& hint);
+    /** Declare a local scratch array. */
+    Value* local(std::vector<int64_t> shape, const std::string& hint);
+
+    /**
+     * Build a loop nest over @p extents and invoke @p body at the innermost
+     * point with the induction variables and an inner builder. The
+     * insertion point returns to the function body afterwards.
+     */
+    void nest(const std::vector<int64_t>& extents,
+              const std::function<void(OpBuilder&, const std::vector<Value*>&)>&
+                  body);
+
+    /** @name Scalar helpers usable inside nest bodies. @{ */
+    static Value* load(OpBuilder& b, Value* memref, std::vector<Value*> idx);
+    static void store(OpBuilder& b, Value* value, Value* memref,
+                      std::vector<Value*> idx);
+    static Value* mul(OpBuilder& b, Value* lhs, Value* rhs);
+    static Value* add(OpBuilder& b, Value* lhs, Value* rhs);
+    static Value* sub(OpBuilder& b, Value* lhs, Value* rhs);
+    static Value* constant(OpBuilder& b, Type type, double value);
+    /** index expression c0*iv0 + c1*iv1 + offset. */
+    static Value* apply(OpBuilder& b, std::vector<Value*> ivs,
+                        std::vector<int64_t> coeffs, int64_t offset = 0);
+    /** @} */
+
+    Type element() const { return element_; }
+    FuncOp func() const { return func_; }
+    OwnedModule takeModule();
+
+  private:
+    OwnedModule module_;
+    FuncOp func_;
+    OpBuilder builder_;
+    Type element_;
+    bool finished_ = false;
+};
+
+} // namespace hida
+
+#endif // HIDA_FRONTEND_LOOP_BUILDER_H

@@ -1,0 +1,125 @@
+#include "src/frontend/torch_builder.h"
+
+#include "src/ir/registry.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+TorchBuilder::TorchBuilder(Type element) : element_(element)
+{
+    registerAllDialects();
+    builder_.setInsertionPointToEnd(module_.get().body());
+    func_ = FuncOp::create(builder_, "forward", {});
+    builder_.setInsertionPointToEnd(func_.body());
+}
+
+Value*
+TorchBuilder::input(std::vector<int64_t> shape)
+{
+    HIDA_ASSERT(func_.numArguments() == 0, "input() may be called once");
+    Value* arg = func_.body()->addArgument(
+        Type::tensor(std::move(shape), element_), "input");
+    return arg;
+}
+
+Value*
+TorchBuilder::weight(std::vector<int64_t> shape)
+{
+    return NnWeightOp::create(builder_, std::move(shape), element_,
+                              nextSeed_++)
+        .op()
+        ->result(0);
+}
+
+Value*
+TorchBuilder::conv2d(Value* x, int64_t out_channels, int64_t kernel,
+                     int64_t stride, int64_t pad, bool bias)
+{
+    const auto& in = x->type().shape();
+    Value* w = weight({out_channels, in[1], kernel, kernel});
+    Value* b = bias ? weight({out_channels}) : nullptr;
+    Conv2dOp op = Conv2dOp::create(builder_, x, w, b, stride, pad);
+    macs_ += nnOpMacs(op.op());
+    return op.op()->result(0);
+}
+
+Value*
+TorchBuilder::dwconv2d(Value* x, int64_t kernel, int64_t stride, int64_t pad)
+{
+    const auto& in = x->type().shape();
+    Value* w = weight({in[1], 1, kernel, kernel});
+    DwConv2dOp op = DwConv2dOp::create(builder_, x, w, stride, pad);
+    macs_ += nnOpMacs(op.op());
+    return op.op()->result(0);
+}
+
+Value*
+TorchBuilder::maxpool(Value* x, int64_t kernel, int64_t stride)
+{
+    return MaxPoolOp::create(builder_, x, kernel, stride).op()->result(0);
+}
+
+Value*
+TorchBuilder::avgpool(Value* x, int64_t kernel, int64_t stride)
+{
+    return AvgPoolOp::create(builder_, x, kernel, stride).op()->result(0);
+}
+
+Value*
+TorchBuilder::linear(Value* x, int64_t out_features, bool bias)
+{
+    const auto& in = x->type().shape();
+    HIDA_ASSERT(in.size() == 2, "linear expects a flattened input");
+    Value* w = weight({out_features, in[1]});
+    Value* b = bias ? weight({out_features}) : nullptr;
+    LinearOp op = LinearOp::create(builder_, x, w, b);
+    macs_ += nnOpMacs(op.op());
+    return op.op()->result(0);
+}
+
+Value*
+TorchBuilder::relu(Value* x)
+{
+    return ReluOp::create(builder_, x).op()->result(0);
+}
+
+Value*
+TorchBuilder::add(Value* a, Value* b)
+{
+    return NnAddOp::create(builder_, a, b).op()->result(0);
+}
+
+Value*
+TorchBuilder::flatten(Value* x)
+{
+    return FlattenOp::create(builder_, x).op()->result(0);
+}
+
+Value*
+TorchBuilder::concat(Value* a, Value* b)
+{
+    return ConcatOp::create(builder_, a, b).op()->result(0);
+}
+
+Value*
+TorchBuilder::upsample(Value* x, int64_t scale)
+{
+    return UpsampleOp::create(builder_, x, scale).op()->result(0);
+}
+
+Value*
+TorchBuilder::convRelu(Value* x, int64_t out_channels, int64_t kernel,
+                       int64_t stride, int64_t pad)
+{
+    return relu(conv2d(x, out_channels, kernel, stride, pad));
+}
+
+OwnedModule
+TorchBuilder::takeModule()
+{
+    HIDA_ASSERT(!finished_, "module already taken");
+    finished_ = true;
+    return std::move(module_);
+}
+
+} // namespace hida

@@ -1,0 +1,71 @@
+#ifndef HIDA_FRONTEND_TORCH_BUILDER_H
+#define HIDA_FRONTEND_TORCH_BUILDER_H
+
+/**
+ * @file
+ * PyTorch-like model builder — the stand-in for the Torch-MLIR front-end
+ * (see DESIGN.md substitutions). Produces a module with one "forward"
+ * function whose body is an nn-dialect tensor graph, exactly what HIDA
+ * receives from Torch-MLIR after shape inference.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dialect/nn/nn_ops.h"
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** Incrementally builds a forward graph in the style of torch.nn. */
+class TorchBuilder {
+  public:
+    /** @param element numeric type of activations/weights (default int8,
+     * the quantized deployment type common for FPGA DNN accelerators). */
+    explicit TorchBuilder(Type element = Type::i8());
+
+    /** Declare the network input; callable once. */
+    Value* input(std::vector<int64_t> shape);
+
+    /** @name Layer builders (shapes are NCHW / OIHW). @{ */
+    Value* conv2d(Value* x, int64_t out_channels, int64_t kernel,
+                  int64_t stride = 1, int64_t pad = 0, bool bias = true);
+    Value* dwconv2d(Value* x, int64_t kernel, int64_t stride = 1,
+                    int64_t pad = 0);
+    Value* maxpool(Value* x, int64_t kernel = 2, int64_t stride = 2);
+    Value* avgpool(Value* x, int64_t kernel = 2, int64_t stride = 2);
+    Value* linear(Value* x, int64_t out_features, bool bias = true);
+    Value* relu(Value* x);
+    Value* add(Value* a, Value* b);
+    Value* flatten(Value* x);
+    Value* concat(Value* a, Value* b);
+    Value* upsample(Value* x, int64_t scale = 2);
+    /** conv2d + relu, the ubiquitous block. */
+    Value* convRelu(Value* x, int64_t out_channels, int64_t kernel,
+                    int64_t stride = 1, int64_t pad = 0);
+    /** @} */
+
+    /** Total multiply-accumulate operations of the graph built so far. */
+    int64_t macs() const { return macs_; }
+
+    /** Finish and take ownership of the module. */
+    OwnedModule takeModule();
+
+    OpBuilder& builder() { return builder_; }
+
+  private:
+    Value* weight(std::vector<int64_t> shape);
+
+    OwnedModule module_;
+    FuncOp func_;
+    OpBuilder builder_;
+    Type element_;
+    int64_t nextSeed_ = 1;
+    int64_t macs_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace hida
+
+#endif // HIDA_FRONTEND_TORCH_BUILDER_H

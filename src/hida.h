@@ -1,0 +1,32 @@
+#ifndef HIDA_HIDA_H
+#define HIDA_HIDA_H
+
+/**
+ * @file
+ * Umbrella header: everything a downstream user needs to build models or
+ * kernels, compile them with one of the three flows, inspect QoR, simulate
+ * the dataflow timing, and emit HLS C++.
+ */
+
+#include "src/analysis/connection.h"
+#include "src/analysis/dataflow_graph.h"
+#include "src/analysis/memory_effects.h"
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/arith/arith_ops.h"
+#include "src/dialect/hida/hida_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/dialect/nn/nn_ops.h"
+#include "src/driver/driver.h"
+#include "src/emitter/hls_emitter.h"
+#include "src/estimator/qor.h"
+#include "src/frontend/loop_builder.h"
+#include "src/frontend/torch_builder.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builtin_ops.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/models/dnn_models.h"
+#include "src/models/polybench.h"
+#include "src/sim/dataflow_sim.h"
+
+#endif // HIDA_HIDA_H

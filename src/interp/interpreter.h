@@ -1,0 +1,55 @@
+#ifndef HIDA_INTERP_INTERPRETER_H
+#define HIDA_INTERP_INTERPRETER_H
+
+/**
+ * @file
+ * Reference interpreters — the stand-in for Vitis HLS C-simulation.
+ *
+ * Two levels, mirroring the compilation stack:
+ *  - executeNnGraph: runs a Functional tensor graph (nn dialect) directly,
+ *    producing reference outputs;
+ *  - executeLowered: runs lowered affine/Structural IR (loops, buffers,
+ *    nodes, schedules) with sequential node semantics — which matches the
+ *    dataflow execution result whenever the IR is legal (single producers,
+ *    ordered reads-after-writes).
+ *
+ * Transform correctness tests execute both on the same deterministic
+ * weights/input and compare the network outputs elementwise.
+ */
+
+#include <map>
+#include <vector>
+
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** Deterministic pseudo-random contents for a weight of @p seed: small
+ * integers in [-3, 3], identical at the tensor and memref levels. */
+std::vector<double> weightData(int64_t num_elements, int64_t seed);
+
+/** Execute a tensor-level nn graph; returns the value of @p output. */
+std::vector<double> executeNnGraph(FuncOp func,
+                                   const std::vector<double>& input,
+                                   Value* output);
+
+/**
+ * Execute lowered IR; returns the final contents of every buffer (keyed
+ * by the buffer's defining value) after running @p func on @p input
+ * (bound to the first function argument).
+ */
+std::map<Value*, std::vector<double>>
+executeLowered(FuncOp func, const std::vector<double>& input);
+
+/**
+ * Convenience for tests: run @p func (lowered) and return the contents of
+ * the unique never-read activation buffer with @p num_outputs elements —
+ * the network output.
+ */
+std::vector<double> loweredNetworkOutput(FuncOp func,
+                                         const std::vector<double>& input,
+                                         int64_t num_outputs);
+
+} // namespace hida
+
+#endif // HIDA_INTERP_INTERPRETER_H

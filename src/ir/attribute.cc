@@ -1,0 +1,230 @@
+#include "src/ir/attribute.h"
+
+#include <sstream>
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+std::string
+SemiAffineMap::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < permutation.size(); ++i) {
+        if (i)
+            os << ", ";
+        if (permutation[i] == kEmpty)
+            os << "_";
+        else
+            os << permutation[i];
+        if (i < scaling.size() && scaling[i] != 1.0)
+            os << "*" << scaling[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Attribute
+Attribute::unit()
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kUnit;
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::integer(int64_t value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kInt;
+    s->intValue = value;
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::real(double value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kFloat;
+    s->floatValue = value;
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::string(std::string value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kString;
+    s->stringValue = std::move(value);
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::type(Type value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kType;
+    s->typeValue = value;
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::array(std::vector<Attribute> value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kArray;
+    s->arrayValue = std::move(value);
+    return Attribute(std::move(s));
+}
+
+Attribute
+Attribute::i64Array(const std::vector<int64_t>& values)
+{
+    std::vector<Attribute> attrs;
+    attrs.reserve(values.size());
+    for (int64_t v : values)
+        attrs.push_back(integer(v));
+    return array(std::move(attrs));
+}
+
+Attribute
+Attribute::affineMap(SemiAffineMap map)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kAffineMap;
+    s->mapValue = std::move(map);
+    return Attribute(std::move(s));
+}
+
+bool
+Attribute::operator==(const Attribute& other) const
+{
+    if (impl_ == other.impl_)
+        return true;
+    if (!impl_ || !other.impl_)
+        return false;
+    const auto& a = *impl_;
+    const auto& b = *other.impl_;
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case AttrKind::kUnit:
+        return true;
+      case AttrKind::kInt:
+        return a.intValue == b.intValue;
+      case AttrKind::kFloat:
+        return a.floatValue == b.floatValue;
+      case AttrKind::kString:
+        return a.stringValue == b.stringValue;
+      case AttrKind::kType:
+        return a.typeValue == b.typeValue;
+      case AttrKind::kArray:
+        return a.arrayValue == b.arrayValue;
+      case AttrKind::kAffineMap:
+        return a.mapValue == b.mapValue;
+    }
+    return false;
+}
+
+AttrKind
+Attribute::kind() const
+{
+    HIDA_ASSERT(impl_, "null attribute");
+    return impl_->kind;
+}
+
+int64_t
+Attribute::asInt() const
+{
+    HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kInt, "not an int attr");
+    return impl_->intValue;
+}
+
+double
+Attribute::asFloat() const
+{
+    HIDA_ASSERT(impl_, "null attribute");
+    if (impl_->kind == AttrKind::kInt)
+        return static_cast<double>(impl_->intValue);
+    HIDA_ASSERT(impl_->kind == AttrKind::kFloat, "not a float attr");
+    return impl_->floatValue;
+}
+
+const std::string&
+Attribute::asString() const
+{
+    HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kString, "not a string attr");
+    return impl_->stringValue;
+}
+
+Type
+Attribute::asType() const
+{
+    HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kType, "not a type attr");
+    return impl_->typeValue;
+}
+
+const std::vector<Attribute>&
+Attribute::asArray() const
+{
+    HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kArray, "not an array attr");
+    return impl_->arrayValue;
+}
+
+std::vector<int64_t>
+Attribute::asI64Array() const
+{
+    std::vector<int64_t> result;
+    for (const Attribute& a : asArray())
+        result.push_back(a.asInt());
+    return result;
+}
+
+const SemiAffineMap&
+Attribute::asAffineMap() const
+{
+    HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kAffineMap, "not a map attr");
+    return impl_->mapValue;
+}
+
+std::string
+Attribute::str() const
+{
+    if (!impl_)
+        return "<<null>>";
+    std::ostringstream os;
+    switch (impl_->kind) {
+      case AttrKind::kUnit:
+        os << "unit";
+        break;
+      case AttrKind::kInt:
+        os << impl_->intValue;
+        break;
+      case AttrKind::kFloat:
+        os << impl_->floatValue;
+        break;
+      case AttrKind::kString:
+        os << '"' << impl_->stringValue << '"';
+        break;
+      case AttrKind::kType:
+        os << impl_->typeValue.str();
+        break;
+      case AttrKind::kArray: {
+        os << "[";
+        for (size_t i = 0; i < impl_->arrayValue.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << impl_->arrayValue[i].str();
+        }
+        os << "]";
+        break;
+      }
+      case AttrKind::kAffineMap:
+        os << impl_->mapValue.str();
+        break;
+    }
+    return os.str();
+}
+
+} // namespace hida

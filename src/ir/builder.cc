@@ -1,0 +1,57 @@
+#include "src/ir/builder.h"
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+void
+OpBuilder::setInsertionPointToEnd(Block* block)
+{
+    block_ = block;
+    it_ = block->ops_.end();
+}
+
+void
+OpBuilder::setInsertionPointToStart(Block* block)
+{
+    block_ = block;
+    it_ = block->ops_.begin();
+}
+
+void
+OpBuilder::setInsertionPointBefore(Operation* op)
+{
+    HIDA_ASSERT(op->block() != nullptr, "op is detached");
+    block_ = op->block();
+    it_ = op->selfIt_;
+}
+
+void
+OpBuilder::setInsertionPointAfter(Operation* op)
+{
+    HIDA_ASSERT(op->block() != nullptr, "op is detached");
+    block_ = op->block();
+    it_ = std::next(op->selfIt_);
+}
+
+Operation*
+OpBuilder::create(std::string name, std::vector<Value*> operands,
+                  const std::vector<Type>& result_types, unsigned num_regions)
+{
+    Operation* op = Operation::create(std::move(name), std::move(operands),
+                                      result_types, num_regions);
+    return insert(op);
+}
+
+Operation*
+OpBuilder::insert(Operation* op)
+{
+    HIDA_ASSERT(block_ != nullptr, "builder has no insertion point");
+    HIDA_ASSERT(op->block() == nullptr, "op already attached");
+    auto inserted = block_->ops_.insert(it_, std::unique_ptr<Operation>(op));
+    op->block_ = block_;
+    op->selfIt_ = inserted;
+    return op;
+}
+
+} // namespace hida

@@ -1,0 +1,80 @@
+#ifndef HIDA_IR_BUILTIN_OPS_H
+#define HIDA_IR_BUILTIN_OPS_H
+
+/**
+ * @file
+ * Builtin structural ops: the top-level module and functions. A module owns
+ * a single region/block containing functions; a function's entry block
+ * arguments are its parameters.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/ir/operation.h"
+
+namespace hida {
+
+/** Top-level container op ("builtin.module"). */
+class ModuleOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "builtin.module";
+    using OpWrapper::OpWrapper;
+
+    /** Create a detached module (see OwnedModule for RAII ownership). */
+    static ModuleOp create();
+
+    Block* body() const { return op_->body(); }
+    /** Find a function by symbol name; null wrapper when absent. */
+    class FuncOp lookupFunc(const std::string& name) const;
+};
+
+/** RAII owner for a top-level (block-less) module. */
+class OwnedModule {
+  public:
+    OwnedModule();
+    ~OwnedModule();
+    OwnedModule(OwnedModule&&) noexcept;
+    OwnedModule& operator=(OwnedModule&&) noexcept;
+    OwnedModule(const OwnedModule&) = delete;
+    OwnedModule& operator=(const OwnedModule&) = delete;
+
+    ModuleOp get() const { return ModuleOp(op_); }
+    ModuleOp operator*() const { return get(); }
+
+  private:
+    Operation* op_ = nullptr;
+};
+
+/** Callable function op ("func.func") with a single-block body. */
+class FuncOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "func.func";
+    using OpWrapper::OpWrapper;
+
+    static FuncOp create(OpBuilder& builder, const std::string& sym_name,
+                         const std::vector<Type>& arg_types);
+
+    std::string symName() const { return op_->attr("sym_name").asString(); }
+    Block* body() const { return op_->body(); }
+    unsigned numArguments() const { return op_->body()->numArguments(); }
+    Value* argument(unsigned i) const { return op_->body()->argument(i); }
+};
+
+/** Function terminator ("func.return"). */
+class ReturnOp : public OpWrapper {
+  public:
+    static constexpr const char* kOpName = "func.return";
+    using OpWrapper::OpWrapper;
+
+    static ReturnOp create(OpBuilder& builder, std::vector<Value*> operands = {});
+};
+
+/** Register builtin/func op metadata. */
+void registerBuiltinDialect();
+
+} // namespace hida
+
+#endif // HIDA_IR_BUILTIN_OPS_H

@@ -1,0 +1,462 @@
+#include "src/ir/operation.h"
+
+#include <algorithm>
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+std::vector<Operation*>
+Value::users() const
+{
+    std::vector<Operation*> result;
+    for (const auto& [op, idx] : uses_)
+        if (std::find(result.begin(), result.end(), op) == result.end())
+            result.push_back(op);
+    return result;
+}
+
+void
+Value::replaceAllUsesWith(Value* replacement)
+{
+    replaceUsesIf(replacement, [](Operation*) { return true; });
+}
+
+unsigned
+Value::replaceUsesIf(Value* replacement,
+                     const std::function<bool(Operation*)>& should_replace)
+{
+    HIDA_ASSERT(replacement != this, "self-replacement");
+    unsigned replaced = 0;
+    // Snapshot: setOperand mutates uses_.
+    auto uses = uses_;
+    for (const auto& [op, idx] : uses) {
+        if (should_replace(op)) {
+            op->setOperand(idx, replacement);
+            ++replaced;
+        }
+    }
+    return replaced;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block&
+Region::front()
+{
+    HIDA_ASSERT(!blocks_.empty(), "region has no blocks");
+    return *blocks_.front();
+}
+
+const Block&
+Region::front() const
+{
+    HIDA_ASSERT(!blocks_.empty(), "region has no blocks");
+    return *blocks_.front();
+}
+
+Block*
+Region::addBlock()
+{
+    blocks_.push_back(std::make_unique<Block>(this));
+    return blocks_.back().get();
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Block::~Block()
+{
+    // Break all use-def links first so value destruction order is irrelevant.
+    for (const auto& op : ops_)
+        op->dropAllReferences();
+    ops_.clear();
+}
+
+Operation*
+Block::parentOp() const
+{
+    return parentRegion_ ? parentRegion_->parentOp() : nullptr;
+}
+
+Value*
+Block::addArgument(Type type, std::string name_hint)
+{
+    args_.push_back(std::unique_ptr<Value>(
+        new Value(type, nullptr, this, static_cast<unsigned>(args_.size()))));
+    args_.back()->setNameHint(std::move(name_hint));
+    return args_.back().get();
+}
+
+std::vector<Value*>
+Block::arguments() const
+{
+    std::vector<Value*> result;
+    result.reserve(args_.size());
+    for (const auto& a : args_)
+        result.push_back(a.get());
+    return result;
+}
+
+void
+Block::eraseArgument(unsigned i)
+{
+    HIDA_ASSERT(i < args_.size(), "argument index out of range");
+    HIDA_ASSERT(!args_[i]->hasUses(), "erasing a block argument that has uses");
+    args_.erase(args_.begin() + i);
+    for (unsigned j = i; j < args_.size(); ++j)
+        args_[j]->index_ = j;
+}
+
+std::vector<Operation*>
+Block::ops() const
+{
+    std::vector<Operation*> result;
+    result.reserve(ops_.size());
+    for (const auto& op : ops_)
+        result.push_back(op.get());
+    return result;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation*
+Operation::create(std::string name, std::vector<Value*> operands,
+                  const std::vector<Type>& result_types, unsigned num_regions)
+{
+    auto* op = new Operation(std::move(name));
+    for (Value* v : operands)
+        op->appendOperand(v);
+    for (unsigned i = 0; i < result_types.size(); ++i)
+        op->results_.push_back(
+            std::unique_ptr<Value>(new Value(result_types[i], op, nullptr, i)));
+    for (unsigned i = 0; i < num_regions; ++i)
+        op->regions_.push_back(std::make_unique<Region>(op));
+    return op;
+}
+
+void
+Operation::destroyDetached(Operation* op)
+{
+    HIDA_ASSERT(op->block_ == nullptr, "operation is attached to a block");
+    HIDA_ASSERT(!op->hasAnyResultUses(), "detached op has live result uses");
+    op->dropAllReferences();
+    delete op;
+}
+
+Operation::~Operation() = default;
+
+std::string
+Operation::dialect() const
+{
+    auto dot = name_.find('.');
+    return dot == std::string::npos ? name_ : name_.substr(0, dot);
+}
+
+void
+Operation::addUse(Value* value, unsigned operand_index)
+{
+    value->uses_.emplace_back(this, operand_index);
+}
+
+void
+Operation::removeUse(Value* value, unsigned operand_index)
+{
+    auto& uses = value->uses_;
+    auto it = std::find(uses.begin(), uses.end(),
+                        std::make_pair(this, operand_index));
+    HIDA_ASSERT(it != uses.end(), "use record missing for ", name_);
+    uses.erase(it);
+}
+
+void
+Operation::setOperand(unsigned i, Value* value)
+{
+    HIDA_ASSERT(i < operands_.size(), "operand index out of range");
+    if (operands_[i] == value)
+        return;
+    removeUse(operands_[i], i);
+    operands_[i] = value;
+    addUse(value, i);
+}
+
+void
+Operation::appendOperand(Value* value)
+{
+    HIDA_ASSERT(value != nullptr, "null operand on ", name_);
+    operands_.push_back(value);
+    addUse(value, static_cast<unsigned>(operands_.size() - 1));
+}
+
+void
+Operation::eraseOperand(unsigned i)
+{
+    HIDA_ASSERT(i < operands_.size(), "operand index out of range");
+    removeUse(operands_[i], i);
+    // Shift later use records down by one.
+    for (unsigned j = i + 1; j < operands_.size(); ++j) {
+        for (auto& use : operands_[j]->uses_) {
+            if (use.first == this && use.second == j)
+                use.second = j - 1;
+        }
+    }
+    operands_.erase(operands_.begin() + i);
+}
+
+void
+Operation::replaceUsesOfWith(Value* from, Value* to)
+{
+    for (unsigned i = 0; i < operands_.size(); ++i)
+        if (operands_[i] == from)
+            setOperand(i, to);
+}
+
+std::vector<Value*>
+Operation::results() const
+{
+    std::vector<Value*> result;
+    result.reserve(results_.size());
+    for (const auto& r : results_)
+        result.push_back(r.get());
+    return result;
+}
+
+bool
+Operation::hasAnyResultUses() const
+{
+    for (const auto& r : results_)
+        if (r->hasUses())
+            return true;
+    return false;
+}
+
+void
+Operation::replaceAllUsesWith(Operation* other)
+{
+    HIDA_ASSERT(numResults() == other->numResults(),
+                "result count mismatch in RAUW");
+    for (unsigned i = 0; i < numResults(); ++i)
+        result(i)->replaceAllUsesWith(other->result(i));
+}
+
+void
+Operation::dropAllReferences()
+{
+    for (unsigned i = 0; i < operands_.size(); ++i) {
+        if (operands_[i] != nullptr) {
+            removeUse(operands_[i], i);
+            operands_[i] = nullptr;
+        }
+    }
+    for (const auto& region : regions_)
+        for (const auto& block : region->blocks())
+            for (const auto& op : block->ops())
+                op->dropAllReferences();
+}
+
+Region*
+Operation::addRegion()
+{
+    regions_.push_back(std::make_unique<Region>(this));
+    return regions_.back().get();
+}
+
+Attribute
+Operation::attr(const std::string& key) const
+{
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? Attribute() : it->second;
+}
+
+int64_t
+Operation::intAttrOr(const std::string& key, int64_t def) const
+{
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? def : it->second.asInt();
+}
+
+Block*
+Operation::body()
+{
+    HIDA_ASSERT(!regions_.empty(), "op ", name_, " has no regions");
+    if (regions_.front()->empty())
+        regions_.front()->addBlock();
+    return &regions_.front()->front();
+}
+
+Operation*
+Operation::parentOp() const
+{
+    return block_ ? block_->parentOp() : nullptr;
+}
+
+Operation*
+Operation::parentOfName(const std::string& name) const
+{
+    for (Operation* p = parentOp(); p != nullptr; p = p->parentOp())
+        if (p->name() == name)
+            return p;
+    return nullptr;
+}
+
+bool
+Operation::isAncestorOf(const Operation* other) const
+{
+    for (const Operation* p = other; p != nullptr; p = p->parentOp())
+        if (p == this)
+            return true;
+    return false;
+}
+
+bool
+Operation::isBeforeInBlock(const Operation* other) const
+{
+    HIDA_ASSERT(block_ != nullptr && block_ == other->block_,
+                "ops must share a block");
+    for (const auto& op : block_->ops_) {
+        if (op.get() == this)
+            return true;
+        if (op.get() == other)
+            return false;
+    }
+    HIDA_PANIC("ops not found in their own block");
+}
+
+Operation*
+Operation::prevInBlock() const
+{
+    HIDA_ASSERT(block_ != nullptr, "detached op");
+    if (selfIt_ == block_->ops_.begin())
+        return nullptr;
+    return std::prev(selfIt_)->get();
+}
+
+Operation*
+Operation::nextInBlock() const
+{
+    HIDA_ASSERT(block_ != nullptr, "detached op");
+    auto next = std::next(selfIt_);
+    return next == block_->ops_.end() ? nullptr : next->get();
+}
+
+void
+Operation::moveBefore(Operation* other)
+{
+    HIDA_ASSERT(block_ != nullptr && other->block_ != nullptr,
+                "moveBefore requires attached ops");
+    Block* dest = other->block_;
+    dest->ops_.splice(other->selfIt_, block_->ops_, selfIt_);
+    block_ = dest;
+}
+
+void
+Operation::moveAfter(Operation* other)
+{
+    HIDA_ASSERT(block_ != nullptr && other->block_ != nullptr,
+                "moveAfter requires attached ops");
+    Block* dest = other->block_;
+    dest->ops_.splice(std::next(other->selfIt_), block_->ops_, selfIt_);
+    block_ = dest;
+}
+
+void
+Operation::moveToEnd(Block* block)
+{
+    HIDA_ASSERT(block_ != nullptr, "detached op");
+    block->ops_.splice(block->ops_.end(), block_->ops_, selfIt_);
+    block_ = block;
+}
+
+void
+Operation::moveToFront(Block* block)
+{
+    HIDA_ASSERT(block_ != nullptr, "detached op");
+    block->ops_.splice(block->ops_.begin(), block_->ops_, selfIt_);
+    block_ = block;
+}
+
+void
+Operation::erase()
+{
+    HIDA_ASSERT(block_ != nullptr, "erasing a detached op");
+    HIDA_ASSERT(!hasAnyResultUses(), "erasing op ", name_, " with live uses");
+    while (numOperands() > 0)
+        eraseOperand(numOperands() - 1);
+    Block* block = block_;
+    block_ = nullptr;
+    block->ops_.erase(selfIt_); // deletes this
+}
+
+Operation*
+Operation::clone(ValueMapping& mapping) const
+{
+    auto* cloned = new Operation(name_);
+    cloned->attrs_ = attrs_;
+    for (Value* operand : operands_)
+        cloned->appendOperand(mapping.lookupOrSelf(operand));
+    for (const auto& r : results_) {
+        unsigned idx = static_cast<unsigned>(cloned->results_.size());
+        cloned->results_.push_back(
+            std::unique_ptr<Value>(new Value(r->type(), cloned, nullptr, idx)));
+        cloned->results_.back()->setNameHint(r->nameHint());
+        mapping.map(r.get(), cloned->results_.back().get());
+    }
+    for (const auto& region : regions_) {
+        cloned->regions_.push_back(std::make_unique<Region>(cloned));
+        Region* new_region = cloned->regions_.back().get();
+        for (const auto& block : region->blocks()) {
+            Block* new_block = new_region->addBlock();
+            for (const auto& arg : block->args_) {
+                Value* new_arg =
+                    new_block->addArgument(arg->type(), arg->nameHint());
+                mapping.map(arg.get(), new_arg);
+            }
+            for (const auto& op : block->ops_) {
+                Operation* new_op = op->clone(mapping);
+                new_op->block_ = new_block;
+                new_block->ops_.push_back(std::unique_ptr<Operation>(new_op));
+                new_op->selfIt_ = std::prev(new_block->ops_.end());
+            }
+        }
+    }
+    return cloned;
+}
+
+void
+Operation::walk(const std::function<void(Operation*)>& fn, WalkOrder order)
+{
+    if (order == WalkOrder::kPreOrder)
+        fn(this);
+    for (const auto& region : regions_) {
+        for (const auto& block : region->blocks()) {
+            // Snapshot for mutation tolerance.
+            std::vector<Operation*> snapshot = block->ops();
+            for (Operation* op : snapshot)
+                op->walk(fn, order);
+        }
+    }
+    if (order == WalkOrder::kPostOrder)
+        fn(this);
+}
+
+std::vector<Operation*>
+Operation::collect(const std::function<bool(Operation*)>& filter) const
+{
+    std::vector<Operation*> result;
+    const_cast<Operation*>(this)->walk([&](Operation* op) {
+        if (op != this && filter(op))
+            result.push_back(op);
+    }, WalkOrder::kPreOrder);
+    return result;
+}
+
+} // namespace hida

@@ -1,0 +1,337 @@
+#ifndef HIDA_IR_OPERATION_H
+#define HIDA_IR_OPERATION_H
+
+/**
+ * @file
+ * Core SSA IR objects: Value, Operation, Block and Region. The design
+ * mirrors MLIR's region-based IR at a reduced scale: an Operation carries
+ * operands, results, attributes and nested regions; a Region carries blocks;
+ * a Block carries arguments and an ordered list of operations. Use-def
+ * chains are maintained eagerly so rewrites (replaceAllUsesWith, erase,
+ * clone) stay constant-bookkeeping.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/attribute.h"
+#include "src/ir/type.h"
+
+namespace hida {
+
+class Block;
+class Operation;
+class Region;
+
+/**
+ * An SSA value: either the result of an Operation or a Block argument.
+ * Values are owned by their defining operation/block; client code holds
+ * non-owning Value* handles.
+ */
+class Value {
+  public:
+    Type type() const { return type_; }
+    void setType(Type type) { type_ = type; }
+
+    /** Defining operation, or nullptr for block arguments. */
+    Operation* definingOp() const { return definingOp_; }
+    /** Owning block for block arguments, or nullptr for op results. */
+    Block* ownerBlock() const { return ownerBlock_; }
+    /** Result index or argument index. */
+    unsigned index() const { return index_; }
+    bool isBlockArgument() const { return ownerBlock_ != nullptr; }
+
+    /** Users as (operation, operand index) pairs, in insertion order. */
+    const std::vector<std::pair<Operation*, unsigned>>& uses() const
+    {
+        return uses_;
+    }
+    bool hasUses() const { return !uses_.empty(); }
+    /** Distinct user operations (may repeat if an op uses a value twice). */
+    std::vector<Operation*> users() const;
+
+    /** Re-point every use of this value at @p replacement. */
+    void replaceAllUsesWith(Value* replacement);
+    /**
+     * Re-point uses for which @p should_replace(user) holds.
+     * @return number of uses replaced.
+     */
+    unsigned replaceUsesIf(Value* replacement,
+                           const std::function<bool(Operation*)>& should_replace);
+
+    const std::string& nameHint() const { return nameHint_; }
+    void setNameHint(std::string hint) { nameHint_ = std::move(hint); }
+
+  private:
+    friend class Block;
+    friend class Operation;
+
+    Value(Type type, Operation* defining_op, Block* owner_block, unsigned index)
+        : type_(type), definingOp_(defining_op), ownerBlock_(owner_block),
+          index_(index)
+    {}
+
+    Type type_;
+    Operation* definingOp_ = nullptr;
+    Block* ownerBlock_ = nullptr;
+    unsigned index_ = 0;
+    std::vector<std::pair<Operation*, unsigned>> uses_;
+    std::string nameHint_;
+};
+
+/** Value-to-value remapping used while cloning IR. */
+class ValueMapping {
+  public:
+    void map(Value* from, Value* to) { map_[from] = to; }
+    /** Mapped value, or @p from itself when unmapped (transparent capture). */
+    Value* lookupOrSelf(Value* from) const
+    {
+        auto it = map_.find(from);
+        return it == map_.end() ? from : it->second;
+    }
+    bool contains(Value* from) const { return map_.count(from) != 0; }
+
+  private:
+    std::unordered_map<Value*, Value*> map_;
+};
+
+/** Region of control: an ordered list of blocks owned by an operation. */
+class Region {
+  public:
+    explicit Region(Operation* parent) : parentOp_(parent) {}
+
+    Operation* parentOp() const { return parentOp_; }
+    bool empty() const { return blocks_.empty(); }
+    size_t numBlocks() const { return blocks_.size(); }
+    Block& front();
+    const Block& front() const;
+    /** Append a fresh empty block and return it. */
+    Block* addBlock();
+    const std::vector<std::unique_ptr<Block>>& blocks() const { return blocks_; }
+
+  private:
+    Operation* parentOp_;
+    std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+/** A straight-line list of operations plus block arguments. */
+class Block {
+  public:
+    explicit Block(Region* parent) : parentRegion_(parent) {}
+    ~Block();
+
+    Region* parentRegion() const { return parentRegion_; }
+    /** Operation owning the region this block lives in (nullptr at top). */
+    Operation* parentOp() const;
+
+    /** @name Block arguments. @{ */
+    Value* addArgument(Type type, std::string name_hint = "");
+    unsigned numArguments() const { return args_.size(); }
+    Value* argument(unsigned i) const { return args_.at(i).get(); }
+    std::vector<Value*> arguments() const;
+    void eraseArgument(unsigned i);
+    /** @} */
+
+    /** @name Operation list. @{ */
+    using OpList = std::list<std::unique_ptr<Operation>>;
+    bool empty() const { return ops_.empty(); }
+    size_t size() const { return ops_.size(); }
+    Operation* front() const { return ops_.front().get(); }
+    Operation* back() const { return ops_.back().get(); }
+    /** Snapshot of the current operations (safe to mutate while visiting). */
+    std::vector<Operation*> ops() const;
+    /** @} */
+
+  private:
+    friend class Operation;
+    friend class OpBuilder;
+
+    Region* parentRegion_;
+    std::vector<std::unique_ptr<Value>> args_;
+    OpList ops_;
+};
+
+/** Walk order for Operation::walk. */
+enum class WalkOrder { kPreOrder, kPostOrder };
+
+/**
+ * The minimal unit of IR: a named operation with typed operands/results,
+ * an attribute dictionary and optional nested regions.
+ */
+class Operation {
+  public:
+    /**
+     * Create a detached operation. Ownership passes to the block it is
+     * eventually inserted into (see OpBuilder); detached ops must be
+     * destroyed with destroyDetached().
+     */
+    static Operation* create(std::string name, std::vector<Value*> operands,
+                             const std::vector<Type>& result_types,
+                             unsigned num_regions = 0);
+    /** Destroy an operation that was never inserted into a block. */
+    static void destroyDetached(Operation* op);
+
+    ~Operation();
+    Operation(const Operation&) = delete;
+    Operation& operator=(const Operation&) = delete;
+
+    const std::string& name() const { return name_; }
+    /** Dialect prefix of the op name ("affine" for "affine.for"). */
+    std::string dialect() const;
+
+    /** @name Operands. @{ */
+    unsigned numOperands() const { return operands_.size(); }
+    Value* operand(unsigned i) const { return operands_.at(i); }
+    const std::vector<Value*>& operands() const { return operands_; }
+    void setOperand(unsigned i, Value* value);
+    void appendOperand(Value* value);
+    void eraseOperand(unsigned i);
+    /** Replace every occurrence of @p from in the operand list by @p to. */
+    void replaceUsesOfWith(Value* from, Value* to);
+    /** @} */
+
+    /** @name Results. @{ */
+    unsigned numResults() const { return results_.size(); }
+    Value* result(unsigned i) const { return results_.at(i).get(); }
+    std::vector<Value*> results() const;
+    bool hasAnyResultUses() const;
+    /** Replace uses of each result with the matching result of @p other. */
+    void replaceAllUsesWith(Operation* other);
+    /** @} */
+
+    /**
+     * Drop this operation's (and all nested operations') operand use
+     * records, nulling the operand slots. Only legal immediately before
+     * destruction; used to break use-def cycles during teardown.
+     */
+    void dropAllReferences();
+
+    /** @name Attributes. @{ */
+    bool hasAttr(const std::string& key) const { return attrs_.count(key) != 0; }
+    Attribute attr(const std::string& key) const;
+    int64_t intAttrOr(const std::string& key, int64_t def) const;
+    void setAttr(const std::string& key, Attribute value) { attrs_[key] = value; }
+    void setIntAttr(const std::string& key, int64_t v)
+    {
+        attrs_[key] = Attribute::integer(v);
+    }
+    void removeAttr(const std::string& key) { attrs_.erase(key); }
+    const std::map<std::string, Attribute>& attrs() const { return attrs_; }
+    /** @} */
+
+    /** @name Regions. @{ */
+    unsigned numRegions() const { return regions_.size(); }
+    Region& region(unsigned i) const { return *regions_.at(i); }
+    /** Append a fresh empty region (used by the parser). */
+    Region* addRegion();
+    /** The single entry block of region 0, creating it if absent. */
+    Block* body();
+    bool hasBody() const
+    {
+        return !regions_.empty() && !regions_.front()->empty();
+    }
+    /** @} */
+
+    /** @name Position in the IR. @{ */
+    Block* block() const { return block_; }
+    /** Operation owning the block this op lives in (nullptr at top level). */
+    Operation* parentOp() const;
+    /** Walk up parentOp links until an op named @p name (or null). */
+    Operation* parentOfName(const std::string& name) const;
+    bool isAncestorOf(const Operation* other) const;
+    /** True if this op appears before @p other in the same block. */
+    bool isBeforeInBlock(const Operation* other) const;
+    Operation* prevInBlock() const;
+    Operation* nextInBlock() const;
+    void moveBefore(Operation* other);
+    void moveAfter(Operation* other);
+    void moveToEnd(Block* block);
+    void moveToFront(Block* block);
+    /** Remove from parent block and delete. Results must be use-free. */
+    void erase();
+    /** @} */
+
+    /**
+     * Deep-clone this operation (detached). Operands are remapped through
+     * @p mapping, falling back to the original value when unmapped; cloned
+     * results and block arguments are recorded into @p mapping.
+     */
+    Operation* clone(ValueMapping& mapping) const;
+
+    /** Visit this op and all nested ops in the requested order. */
+    void walk(const std::function<void(Operation*)>& fn,
+              WalkOrder order = WalkOrder::kPostOrder);
+    /** Collect nested ops (excluding this op) matching @p filter. */
+    std::vector<Operation*>
+    collect(const std::function<bool(Operation*)>& filter) const;
+
+  private:
+    friend class Block;
+    friend class OpBuilder;
+
+    explicit Operation(std::string name) : name_(std::move(name)) {}
+
+    void addUse(Value* value, unsigned operand_index);
+    void removeUse(Value* value, unsigned operand_index);
+
+    std::string name_;
+    std::vector<Value*> operands_;
+    std::vector<std::unique_ptr<Value>> results_;
+    std::map<std::string, Attribute> attrs_;
+    std::vector<std::unique_ptr<Region>> regions_;
+
+    Block* block_ = nullptr;
+    Block::OpList::iterator selfIt_;
+};
+
+/**
+ * Thin typed view over an Operation*, the moral equivalent of mlir::Op
+ * subclasses. Dialect op classes derive from OpWrapper and expose named
+ * accessors over operands/attributes.
+ */
+class OpWrapper {
+  public:
+    OpWrapper() = default;
+    explicit OpWrapper(Operation* op) : op_(op) {}
+
+    Operation* op() const { return op_; }
+    explicit operator bool() const { return op_ != nullptr; }
+    bool operator==(const OpWrapper& other) const { return op_ == other.op_; }
+
+  protected:
+    Operation* op_ = nullptr;
+};
+
+/**
+ * dyn_cast-style helpers for OpWrapper subclasses. An op class either
+ * defines a static `matches(const Operation*)` predicate (multi-name ops)
+ * or a `kOpName` constant.
+ */
+template <typename OpT>
+bool
+isa(const Operation* op)
+{
+    if (op == nullptr)
+        return false;
+    if constexpr (requires { OpT::matches(op); })
+        return OpT::matches(op);
+    else
+        return op->name() == OpT::kOpName;
+}
+
+template <typename OpT>
+OpT
+dynCast(Operation* op)
+{
+    return isa<OpT>(op) ? OpT(op) : OpT(nullptr);
+}
+
+} // namespace hida
+
+#endif // HIDA_IR_OPERATION_H

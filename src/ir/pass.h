@@ -1,0 +1,70 @@
+#ifndef HIDA_IR_PASS_H
+#define HIDA_IR_PASS_H
+
+/**
+ * @file
+ * Pass and PassManager: sequential module-level transformation pipeline
+ * with optional verification after each pass and per-pass wall timing
+ * (feeding the compile-time columns of Tables 7/8).
+ */
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** A module-level transformation or analysis. */
+class Pass {
+  public:
+    explicit Pass(std::string name) : name_(std::move(name)) {}
+    virtual ~Pass() = default;
+
+    const std::string& name() const { return name_; }
+    virtual void runOnModule(ModuleOp module) = 0;
+
+  private:
+    std::string name_;
+};
+
+/** Runs a pipeline of passes over a module. */
+class PassManager {
+  public:
+    /** @param verify_each run the IR verifier after every pass. */
+    explicit PassManager(bool verify_each = true) : verifyEach_(verify_each) {}
+
+    void addPass(std::unique_ptr<Pass> pass)
+    {
+        passes_.push_back(std::move(pass));
+    }
+
+    template <typename PassT, typename... Args>
+    void
+    add(Args&&... args)
+    {
+        passes_.push_back(std::make_unique<PassT>(std::forward<Args>(args)...));
+    }
+
+    /** Run every pass in order; panics if verification fails. */
+    void run(ModuleOp module);
+
+    /** (pass name, seconds) per executed pass, in order. */
+    const std::vector<std::pair<std::string, double>>& timings() const
+    {
+        return timings_;
+    }
+    /** Total wall-clock seconds across all passes from the last run. */
+    double totalSeconds() const;
+
+  private:
+    bool verifyEach_;
+    std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<std::pair<std::string, double>> timings_;
+};
+
+} // namespace hida
+
+#endif // HIDA_IR_PASS_H

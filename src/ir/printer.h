@@ -1,0 +1,25 @@
+#ifndef HIDA_IR_PRINTER_H
+#define HIDA_IR_PRINTER_H
+
+/**
+ * @file
+ * Generic textual printer for the IR (MLIR-like generic assembly form).
+ * Used for debugging, golden tests, and the examples.
+ */
+
+#include <ostream>
+#include <string>
+
+namespace hida {
+
+class Operation;
+
+/** Print @p op (and nested regions) to @p os. */
+void printOp(const Operation* op, std::ostream& os);
+
+/** Convenience: render an op to a string. */
+std::string toString(const Operation* op);
+
+} // namespace hida
+
+#endif // HIDA_IR_PRINTER_H

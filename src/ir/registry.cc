@@ -1,0 +1,25 @@
+#include "src/ir/registry.h"
+
+namespace hida {
+
+OpRegistry&
+OpRegistry::instance()
+{
+    static OpRegistry registry;
+    return registry;
+}
+
+void
+OpRegistry::registerOp(const std::string& name, OpInfo info)
+{
+    ops_[name] = std::move(info);
+}
+
+const OpInfo*
+OpRegistry::lookup(const std::string& name) const
+{
+    auto it = ops_.find(name);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+} // namespace hida

@@ -1,0 +1,51 @@
+#ifndef HIDA_IR_REGISTRY_H
+#define HIDA_IR_REGISTRY_H
+
+/**
+ * @file
+ * Registry of op metadata (traits + verification hooks). Dialects register
+ * their operations at library init time through registerAllDialects().
+ */
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace hida {
+
+class Operation;
+
+/** Per-op metadata registered by dialects. */
+struct OpInfo {
+    /** Region values may not reference values defined outside the op. */
+    bool isolatedFromAbove = false;
+    /** Op must be the last operation in its block. */
+    bool isTerminator = false;
+    /**
+     * Structural verifier; returns an error message or std::nullopt.
+     * Invoked by verify() after generic structural checks.
+     */
+    std::function<std::optional<std::string>(Operation*)> verify;
+};
+
+/** Process-wide op registry (compiler metadata, not program state). */
+class OpRegistry {
+  public:
+    static OpRegistry& instance();
+
+    void registerOp(const std::string& name, OpInfo info);
+    /** Lookup; returns nullptr for unregistered op names. */
+    const OpInfo* lookup(const std::string& name) const;
+
+  private:
+    OpRegistry() = default;
+    std::unordered_map<std::string, OpInfo> ops_;
+};
+
+/** Register every dialect shipped with HIDA. Idempotent. */
+void registerAllDialects();
+
+} // namespace hida
+
+#endif // HIDA_IR_REGISTRY_H

@@ -1,0 +1,28 @@
+#ifndef HIDA_IR_VERIFIER_H
+#define HIDA_IR_VERIFIER_H
+
+/**
+ * @file
+ * Structural IR verifier: SSA dominance, isolation (IsolatedFromAbove),
+ * terminator placement, plus per-op hooks from the OpRegistry.
+ */
+
+#include <optional>
+#include <string>
+
+namespace hida {
+
+class Operation;
+
+/**
+ * Verify @p root and everything nested inside it.
+ * @return first error found, or std::nullopt when the IR is valid.
+ */
+std::optional<std::string> verify(Operation* root);
+
+/** Verify and panic with the error message on failure (for tests/passes). */
+void verifyOrDie(Operation* root);
+
+} // namespace hida
+
+#endif // HIDA_IR_VERIFIER_H

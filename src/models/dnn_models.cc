@@ -1,0 +1,208 @@
+#include "src/models/dnn_models.h"
+
+#include "src/frontend/torch_builder.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+namespace {
+
+OwnedModule
+finish(TorchBuilder& tb, int64_t* macs_out)
+{
+    if (macs_out != nullptr)
+        *macs_out = tb.macs();
+    return tb.takeModule();
+}
+
+OwnedModule
+buildResNet18(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 3, 224, 224});
+    x = tb.convRelu(x, 64, 7, 2, 3);
+    x = tb.maxpool(x, 3, 2);
+
+    auto basic_block = [&](Value* in, int64_t channels, int64_t stride) {
+        Value* shortcut = in;
+        if (stride != 1 || in->type().shape()[1] != channels)
+            shortcut = tb.conv2d(in, channels, 1, stride, 0, /*bias=*/false);
+        Value* y = tb.convRelu(in, channels, 3, stride, 1);
+        y = tb.conv2d(y, channels, 3, 1, 1);
+        return tb.relu(tb.add(y, shortcut));
+    };
+    x = basic_block(x, 64, 1);
+    x = basic_block(x, 64, 1);
+    x = basic_block(x, 128, 2);
+    x = basic_block(x, 128, 1);
+    x = basic_block(x, 256, 2);
+    x = basic_block(x, 256, 1);
+    x = basic_block(x, 512, 2);
+    x = basic_block(x, 512, 1);
+    x = tb.avgpool(x, x->type().shape()[2], x->type().shape()[2]);
+    x = tb.flatten(x);
+    x = tb.linear(x, 1000);
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildMobileNet(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 3, 224, 224});
+    x = tb.convRelu(x, 32, 3, 2, 1);
+    auto dw_pw = [&](Value* in, int64_t out_channels, int64_t stride) {
+        Value* y = tb.relu(tb.dwconv2d(in, 3, stride, 1));
+        return tb.convRelu(y, out_channels, 1, 1, 0);
+    };
+    x = dw_pw(x, 64, 1);
+    x = dw_pw(x, 128, 2);
+    x = dw_pw(x, 128, 1);
+    x = dw_pw(x, 256, 2);
+    x = dw_pw(x, 256, 1);
+    x = dw_pw(x, 512, 2);
+    for (int i = 0; i < 5; ++i)
+        x = dw_pw(x, 512, 1);
+    x = dw_pw(x, 1024, 2);
+    x = dw_pw(x, 1024, 1);
+    x = tb.avgpool(x, x->type().shape()[2], x->type().shape()[2]);
+    x = tb.flatten(x);
+    x = tb.linear(x, 1000);
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildZfNet(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 3, 224, 224});
+    // ZFNet's irregular 7x7/2 and 5x5/2 convolutions (the configuration
+    // ScaleHLS cannot handle, Section 7.2).
+    x = tb.convRelu(x, 96, 7, 2, 0);   // 224 -> 109
+    x = tb.maxpool(x, 3, 2);           // 109 -> 54
+    x = tb.convRelu(x, 256, 5, 2, 0);  // 54 -> 25
+    x = tb.maxpool(x, 3, 2);           // 25 -> 12
+    x = tb.convRelu(x, 384, 3, 1, 1);
+    x = tb.convRelu(x, 384, 3, 1, 1);
+    x = tb.convRelu(x, 256, 3, 1, 1);
+    x = tb.maxpool(x, 3, 2);           // 12 -> 5
+    x = tb.flatten(x);
+    x = tb.relu(tb.linear(x, 4096));
+    x = tb.relu(tb.linear(x, 4096));
+    x = tb.linear(x, 1000);
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildVgg16(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 3, 224, 224});
+    auto block = [&](Value* in, int64_t channels, int convs) {
+        Value* y = in;
+        for (int i = 0; i < convs; ++i)
+            y = tb.convRelu(y, channels, 3, 1, 1);
+        return tb.maxpool(y, 2, 2);
+    };
+    x = block(x, 64, 2);
+    x = block(x, 128, 2);
+    x = block(x, 256, 3);
+    x = block(x, 512, 3);
+    x = block(x, 512, 3);
+    x = tb.flatten(x);
+    x = tb.relu(tb.linear(x, 4096));
+    x = tb.relu(tb.linear(x, 4096));
+    x = tb.linear(x, 1000);
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildYolo(int64_t* macs_out)
+{
+    // Tiny-YOLO-v2-style detector at the high-resolution 416x416 input
+    // (the configuration ScaleHLS cannot handle, Section 7.2).
+    TorchBuilder tb;
+    Value* x = tb.input({1, 3, 416, 416});
+    int64_t channels[] = {16, 32, 64, 128, 256, 512};
+    for (int64_t c : channels) {
+        x = tb.convRelu(x, c, 3, 1, 1);
+        x = tb.maxpool(x, 2, 2);
+    }
+    x = tb.convRelu(x, 1024, 3, 1, 1);
+    x = tb.convRelu(x, 1024, 3, 1, 1);
+    x = tb.conv2d(x, 125, 1, 1, 0);
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildMlp(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 784});
+    x = tb.relu(tb.linear(x, 1024));
+    x = tb.relu(tb.linear(x, 1024));
+    x = tb.relu(tb.linear(x, 1024));
+    x = tb.linear(x, 10);
+    return finish(tb, macs_out);
+}
+
+} // namespace
+
+std::vector<std::string>
+dnnModelNames()
+{
+    return {"ResNet-18", "MobileNet", "ZFNet", "VGG-16", "YOLO", "MLP"};
+}
+
+OwnedModule
+buildDnnModel(const std::string& name, int64_t* macs_out)
+{
+    if (name == "ResNet-18")
+        return buildResNet18(macs_out);
+    if (name == "MobileNet")
+        return buildMobileNet(macs_out);
+    if (name == "ZFNet")
+        return buildZfNet(macs_out);
+    if (name == "VGG-16")
+        return buildVgg16(macs_out);
+    if (name == "YOLO")
+        return buildYolo(macs_out);
+    if (name == "MLP")
+        return buildMlp(macs_out);
+    if (name == "LeNet")
+        return buildLeNet(1, macs_out);
+    HIDA_FATAL("unknown DNN model: ", name);
+}
+
+OwnedModule
+buildLeNet(int64_t batch, int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({batch, 1, 28, 28});
+    x = tb.convRelu(x, 6, 5, 1, 2);   // 28 -> 28 (Task1)
+    x = tb.maxpool(x, 2, 2);          // 28 -> 14
+    x = tb.convRelu(x, 16, 5, 1, 0);  // 14 -> 10 (Task2)
+    x = tb.maxpool(x, 2, 2);          // 10 -> 5
+    x = tb.convRelu(x, 120, 5, 1, 0); // 5 -> 1  (Task3)
+    x = tb.flatten(x);
+    x = tb.linear(x, 10);             // Task4
+    return finish(tb, macs_out);
+}
+
+OwnedModule
+buildTinyCnn(int64_t* macs_out)
+{
+    TorchBuilder tb;
+    Value* x = tb.input({1, 2, 8, 8});
+    x = tb.convRelu(x, 4, 3, 1, 1);
+    x = tb.maxpool(x, 2, 2);
+    Value* shortcut = x;
+    x = tb.convRelu(x, 4, 3, 1, 1);
+    x = tb.conv2d(x, 4, 3, 1, 1);
+    x = tb.relu(tb.add(x, shortcut));
+    x = tb.flatten(x);
+    x = tb.linear(x, 10);
+    return finish(tb, macs_out);
+}
+
+} // namespace hida

@@ -1,0 +1,39 @@
+#ifndef HIDA_MODELS_DNN_MODELS_H
+#define HIDA_MODELS_DNN_MODELS_H
+
+/**
+ * @file
+ * The PyTorch model zoo of Tables 1/2/8: LeNet (the Section 2 case study),
+ * ResNet-18, MobileNet-V1, ZFNet, VGG-16, a Tiny-YOLO-style detector, and
+ * an MLP. Architectures follow the original papers; weights are
+ * deterministic pseudo-random (the DESIGN.md trained-parameter
+ * substitution), which does not affect any reported metric.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/builtin_ops.h"
+
+namespace hida {
+
+/** Table 8 model names in row order. */
+std::vector<std::string> dnnModelNames();
+
+/**
+ * Build a model by name.
+ * @param macs_out if non-null, receives the model's MAC count (for the
+ *        DSP-efficiency metric of Eq. (1)).
+ */
+OwnedModule buildDnnModel(const std::string& name, int64_t* macs_out = nullptr);
+
+/** LeNet with a configurable batch size (Table 1 sweeps BATCH). */
+OwnedModule buildLeNet(int64_t batch = 1, int64_t* macs_out = nullptr);
+
+/** A small CNN (8x8 input) for interpreter-based correctness tests. */
+OwnedModule buildTinyCnn(int64_t* macs_out = nullptr);
+
+} // namespace hida
+
+#endif // HIDA_MODELS_DNN_MODELS_H

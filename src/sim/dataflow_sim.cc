@@ -1,0 +1,92 @@
+#include "src/sim/dataflow_sim.h"
+
+#include <algorithm>
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+SimResult
+simulate(const SimGraph& graph, int frames)
+{
+    const int n = static_cast<int>(graph.nodes.size());
+    SimResult result;
+    if (n == 0 || frames <= 0)
+        return result;
+
+    if (graph.sequential) {
+        int64_t total = 0;
+        for (const SimNode& node : graph.nodes)
+            total += node.latency;
+        result.frameLatency = total;
+        result.steadyInterval = static_cast<double>(total);
+        return result;
+    }
+
+    // finish[f][i]: cycle node i finishes frame f. Channel c's producer /
+    // consumers derived from node input/output lists.
+    std::vector<int> producer_of(graph.channels.size(), -1);
+    std::vector<std::vector<int>> consumers_of(graph.channels.size());
+    for (int i = 0; i < n; ++i) {
+        for (int c : graph.nodes[i].outputs) {
+            HIDA_ASSERT(producer_of[c] == -1,
+                        "simulator requires single-producer channels");
+            producer_of[c] = i;
+        }
+        for (int c : graph.nodes[i].inputs)
+            consumers_of[c].push_back(i);
+    }
+
+    std::vector<std::vector<int64_t>> finish(
+        frames, std::vector<int64_t>(n, 0));
+    for (int f = 0; f < frames; ++f) {
+        for (int i = 0; i < n; ++i) {
+            int64_t start = 0;
+            // One frame in flight per node (internally double buffered).
+            if (f > 0)
+                start = std::max(start, finish[f - 1][i]);
+            // Data availability: all producers must have written frame f.
+            for (int c : graph.nodes[i].inputs) {
+                int p = producer_of[c];
+                if (p >= 0)
+                    start = std::max(start, finish[f][p]);
+            }
+            // Back-pressure: writing frame f into channel c requires every
+            // consumer to be done with frame f - capacity.
+            for (int c : graph.nodes[i].outputs) {
+                int64_t cap = std::max<int64_t>(graph.channels[c].capacity, 1);
+                if (f >= cap) {
+                    for (int consumer : consumers_of[c])
+                        start = std::max(start,
+                                         finish[f - cap][consumer]);
+                }
+            }
+            finish[f][i] = start + graph.nodes[i].latency;
+        }
+    }
+
+    int64_t first_done = 0;
+    for (int i = 0; i < n; ++i)
+        first_done = std::max(first_done, finish[0][i]);
+    result.frameLatency = first_done;
+
+    if (frames >= 2) {
+        // Measure the interval over the second half of the window.
+        int lo = frames / 2;
+        int hi = frames - 1;
+        auto frame_end = [&](int f) {
+            int64_t end = 0;
+            for (int i = 0; i < n; ++i)
+                end = std::max(end, finish[f][i]);
+            return end;
+        };
+        result.steadyInterval =
+            static_cast<double>(frame_end(hi) - frame_end(lo)) /
+            static_cast<double>(hi - lo);
+    } else {
+        result.steadyInterval = static_cast<double>(first_done);
+    }
+    return result;
+}
+
+} // namespace hida

@@ -1,0 +1,34 @@
+#include "src/support/diagnostics.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hida {
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string& msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace hida

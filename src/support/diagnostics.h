@@ -1,0 +1,50 @@
+#ifndef HIDA_SUPPORT_DIAGNOSTICS_H
+#define HIDA_SUPPORT_DIAGNOSTICS_H
+
+/**
+ * @file
+ * Diagnostic helpers in the gem5 spirit: panic() for internal invariant
+ * violations (compiler bugs), fatal() for unrecoverable user errors, and
+ * warn()/inform() for status messages that never stop compilation.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace hida {
+
+/** Terminate with an internal-error message. Use for compiler bugs only. */
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+
+/** Terminate with a user-facing error (bad input, invalid configuration). */
+[[noreturn]] void fatalImpl(const std::string& msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string& msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string& msg);
+
+/** Concatenate all arguments into a std::string via operator<<. */
+template <typename... Args>
+std::string
+strCat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace hida
+
+#define HIDA_PANIC(...) ::hida::panicImpl(__FILE__, __LINE__, ::hida::strCat(__VA_ARGS__))
+#define HIDA_FATAL(...) ::hida::fatalImpl(::hida::strCat(__VA_ARGS__))
+
+/** Assert an internal invariant; always enabled (cheap checks only). */
+#define HIDA_ASSERT(cond, ...)                                                \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            HIDA_PANIC("assertion `" #cond "` failed: ", ##__VA_ARGS__);      \
+    } while (false)
+
+#endif // HIDA_SUPPORT_DIAGNOSTICS_H

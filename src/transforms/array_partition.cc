@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Array partitioning (Table 6 of the paper): derive per-dimension cyclic
+ * partition factors from the unroll factors of every loop that indexes the
+ * buffer, scaled by the access stride. The bank count of a buffer is the
+ * product of its per-dimension factors — the quantity Table 6 reports.
+ */
+
+#include "src/analysis/connection.h"
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/hida/hida_ops.h"
+#include "src/estimator/qor.h"
+#include "src/support/utils.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+
+namespace {
+
+class ArrayPartitionPass : public Pass {
+  public:
+    explicit ArrayPartitionPass(FlowOptions options)
+        : Pass("array-partition"), options_(options) {}
+
+    void
+    runOnModule(ModuleOp module) override
+    {
+        if (!options_.enableParallelization)
+            return;
+        QorEstimator estimator(TargetDevice::vu9pSlr());
+        // Required factor per (buffer, dim) across every access site.
+        std::map<Operation*, std::vector<int64_t>> required;
+
+        module.op()->walk([&](Operation* op) {
+            Value* memref = nullptr;
+            std::vector<Value*> indices;
+            if (op->name() == LoadOp::kOpName ||
+                op->name() == "affine.load_padded") {
+                LoadOp load(op);
+                memref = load.memref();
+                for (unsigned i = 0; i < load.numIndices(); ++i)
+                    indices.push_back(load.index(i));
+            } else if (auto store = dynCast<StoreOp>(op)) {
+                memref = store.memref();
+                for (unsigned i = 0; i < store.numIndices(); ++i)
+                    indices.push_back(store.index(i));
+            } else {
+                return;
+            }
+            BufferOp buffer = estimator.resolveBuffer(memref);
+            if (!buffer ||
+                buffer.type().memorySpace() == MemorySpace::kExternal)
+                return;
+            auto& factors = required[buffer.op()];
+            factors.resize(buffer.type().shape().size(), 1);
+            for (size_t d = 0; d < indices.size(); ++d) {
+                auto expr = decomposeIndex(indices[d]);
+                if (!expr)
+                    continue;
+                for (const AffineTerm& term : expr->terms) {
+                    Operation* loop_op = term.iv->ownerBlock()->parentOp();
+                    if (loop_op == nullptr || !isa<ForOp>(loop_op))
+                        continue;
+                    int64_t unroll = ForOp(loop_op).unrollFactor();
+                    if (unroll <= 1)
+                        continue;
+                    int64_t needed = std::min<int64_t>(
+                        buffer.type().shape()[d],
+                        unroll * std::max<int64_t>(std::abs(term.coeff), 1));
+                    factors[d] = std::max(factors[d], needed);
+                }
+            }
+        });
+
+        for (auto& [buffer_op, factors] : required) {
+            BufferOp buffer(buffer_op);
+            if (factors.empty())
+                continue;
+            // Vectorize along the contiguous last dimension: pack up to 8
+            // elements per memory word instead of splitting banks (the
+            // "vectorization factors" of the buffer op, Figure 4). A wide
+            // word serves as many aligned accesses as a bank would. The
+            // vector width must divide the factor so banking stays aligned
+            // with the unroll factors that derived it.
+            int64_t vector = largestDivisorUpTo(factors.back(), 8);
+            factors.back() /= vector;
+            buffer.op()->setIntAttr("vector_factor", vector);
+            std::vector<int64_t> fashions(factors.size());
+            for (size_t d = 0; d < factors.size(); ++d)
+                fashions[d] = factors[d] > 1
+                                  ? static_cast<int64_t>(
+                                        PartitionFashion::kCyclic)
+                                  : static_cast<int64_t>(
+                                        PartitionFashion::kNone);
+            buffer.setPartition(fashions, factors);
+        }
+    }
+
+  private:
+    FlowOptions options_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createArrayPartitionPass(FlowOptions options)
+{
+    return std::make_unique<ArrayPartitionPass>(options);
+}
+
+} // namespace hida

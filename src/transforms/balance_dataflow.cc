@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Data-path balancing — Section 6.4.2 / Figure 8 of the paper.
+ *
+ * When a join node is fed by paths of different depths, the producer on the
+ * short path stalls and throttles the pipeline. Two remedies, chosen per
+ * channel:
+ *  (1) On-chip buffer duplication: insert a chain of copy nodes through
+ *      duplicated buffers on the short path so both paths have equal depth
+ *      (Figure 8(b)). Used for small on-chip buffers.
+ *  (2) Soft FIFO in external memory: retype the buffer as an external soft
+ *      FIFO of the required depth and synchronize the endpoints with a
+ *      1-bit token stream, enabling elastic node execution without an FSM
+ *      (Figure 8(c)). Used for large or already-external buffers.
+ */
+
+#include "src/analysis/dataflow_graph.h"
+#include "src/dialect/arith/arith_ops.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/support/diagnostics.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+
+namespace {
+
+/** Max bytes we are willing to replicate on-chip per duplicated stage. */
+constexpr int64_t kMaxOnChipCopyBytes = 32 * 1024;
+/** Max path slack fixed by copy chains before falling back to soft FIFOs. */
+constexpr int64_t kMaxCopyChain = 4;
+
+class BalanceDataPathsPass : public Pass {
+  public:
+    explicit BalanceDataPathsPass(FlowOptions options)
+        : Pass("balance-data-paths"), options_(options) {}
+
+    void
+    runOnModule(ModuleOp module) override
+    {
+        std::vector<Operation*> schedules;
+        module.op()->walk([&](Operation* op) {
+            if (isa<ScheduleOp>(op))
+                schedules.push_back(op);
+        }, WalkOrder::kPostOrder);
+        for (Operation* schedule : schedules)
+            runOnSchedule(ScheduleOp(schedule));
+    }
+
+  private:
+    void
+    runOnSchedule(ScheduleOp schedule)
+    {
+        DataflowGraph graph(schedule);
+        auto depth = graph.longestPathTo();
+
+        // Collect the channel fixes first; rewriting invalidates the graph.
+        struct Fix {
+            Value* channel;
+            Operation* producer;
+            Operation* consumer;
+            int64_t slack;
+        };
+        std::vector<Fix> fixes;
+        for (const DataflowEdge& edge : graph.edges()) {
+            if (!edge.channel->type().isMemRef())
+                continue;
+            if (graph.producersOf(edge.channel).size() != 1)
+                continue;  // multi-producer channels are handled earlier
+            int64_t slack =
+                depth[edge.consumer] - depth[edge.producer] - 1;
+            if (slack > 0)
+                fixes.push_back(
+                    {edge.channel, edge.producer, edge.consumer, slack});
+        }
+
+        for (const Fix& fix : fixes) {
+            Type type = fix.channel->type();
+            int64_t bytes =
+                type.numElements() * type.elementType().bitWidth() / 8;
+            bool on_chip = type.memorySpace() != MemorySpace::kExternal;
+            bool local_buffer =
+                fix.channel->definingOp() != nullptr &&
+                fix.channel->definingOp()->parentOp() == schedule.op();
+            if (on_chip && local_buffer && fix.slack <= kMaxCopyChain &&
+                bytes <= kMaxOnChipCopyBytes) {
+                insertCopyChain(schedule, fix.channel, NodeOp(fix.consumer),
+                                fix.slack);
+            } else {
+                installSoftFifo(schedule, fix.channel, NodeOp(fix.producer),
+                                NodeOp(fix.consumer), fix.slack);
+            }
+        }
+    }
+
+    /** Figure 8(b): duplicate the buffer @p slack times through copy nodes
+     * placed before @p consumer; the consumer reads the last duplicate. */
+    void
+    insertCopyChain(ScheduleOp schedule, Value* channel, NodeOp consumer,
+                    int64_t slack)
+    {
+        (void)schedule;
+        Value* current = channel;
+        for (int64_t k = 0; k < slack; ++k) {
+            // Duplicate buffer next to the original.
+            Operation* def = channel->definingOp();
+            HIDA_ASSERT(def != nullptr, "copy chain requires a local buffer");
+            ValueMapping mapping;
+            Operation* dup = def->clone(mapping);
+            OpBuilder buffer_builder;
+            buffer_builder.setInsertionPointAfter(def);
+            buffer_builder.insert(dup);
+            dup->result(0)->setNameHint(channel->nameHint() + "_bal");
+
+            // Copy node right before the consumer.
+            OpBuilder builder;
+            builder.setInsertionPointBefore(consumer.op());
+            NodeOp copy_node = NodeOp::create(
+                builder, {current, dup->result(0)},
+                {MemoryEffect::kRead, MemoryEffect::kWrite}, "copy");
+            OpBuilder body_builder(copy_node.body());
+            CopyOp::create(body_builder, copy_node.innerArg(0),
+                           copy_node.innerArg(1));
+            current = dup->result(0);
+        }
+        // Retarget only this consumer to the end of the chain.
+        for (unsigned i = 0; i < consumer.op()->numOperands(); ++i)
+            if (consumer.op()->operand(i) == channel)
+                consumer.op()->setOperand(i, current);
+    }
+
+    /** Figure 8(c): convert the channel to an external soft FIFO and add a
+     * token stream between the endpoints for elastic execution. */
+    void
+    installSoftFifo(ScheduleOp schedule, Value* channel, NodeOp producer,
+                    NodeOp consumer, int64_t slack)
+    {
+        (void)schedule;
+        int64_t depth = slack + 1;
+        Operation* def = channel->definingOp();
+        if (def != nullptr && isa<BufferOp>(def)) {
+            BufferOp buffer(def);
+            def->result(0)->setType(
+                buffer.type().withMemorySpace(MemorySpace::kExternal));
+            def->setIntAttr("soft_fifo_depth", depth);
+            buffer.setStages(depth);
+            // Refresh the mirrored block-argument types inside users.
+            for (Operation* user : def->result(0)->users()) {
+                if (auto node = dynCast<NodeOp>(user)) {
+                    for (unsigned i = 0; i < user->numOperands(); ++i)
+                        if (user->operand(i) == def->result(0))
+                            node.innerArg(i)->setType(
+                                def->result(0)->type());
+                }
+            }
+        }
+
+        // Token flow producer -> consumer (dashed blue arrow in Figure 3).
+        OpBuilder builder;
+        builder.setInsertionPointBefore(producer.op());
+        StreamOp token =
+            StreamOp::create(builder, Type::token(), depth, "token");
+        Value* produced =
+            producer.appendArgument(token.op()->result(0), MemoryEffect::kWrite);
+        Value* consumed =
+            consumer.appendArgument(token.op()->result(0), MemoryEffect::kRead);
+
+        OpBuilder tail(producer.body());
+        Value* one = ConstantOp::create(tail, Type::i1(), 1.0).op()->result(0);
+        StreamWriteOp::create(tail, one, produced);
+        OpBuilder head;
+        head.setInsertionPointToStart(consumer.body());
+        StreamReadOp::create(head, consumed);
+    }
+
+    FlowOptions options_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createBalanceDataPathsPass(FlowOptions options)
+{
+    return std::make_unique<BalanceDataPathsPass>(options);
+}
+
+} // namespace hida

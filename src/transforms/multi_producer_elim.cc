@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Multiple-producer elimination — Algorithm 3 / Figure 7 of the paper.
+ *
+ * Case (1), internal buffers: every producer after the first gets a fresh
+ * duplicate of the buffer; if the producer also reads the buffer, an
+ * explicit copy from the original into the duplicate is inserted at the
+ * front of its region. All users dominated by that producer are redirected
+ * to the duplicate. Legal because internal buffers cannot be touched by
+ * external side effects.
+ *
+ * Case (2), external buffers: producers are fused into a single node and
+ * executed sequentially inside it, trading a bounded amount of pipelining
+ * for an O(m*n^2)-analysis-free guarantee (Section 6.4.1, "Complexity").
+ */
+
+#include "src/analysis/dataflow_graph.h"
+#include "src/dialect/memref/memref_ops.h"
+#include "src/support/diagnostics.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+
+namespace {
+
+/** Operand index of @p value in @p node, or -1. */
+int
+operandIndexOf(NodeOp node, Value* value)
+{
+    for (unsigned i = 0; i < node.op()->numOperands(); ++i)
+        if (node.op()->operand(i) == value)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Is @p channel effectively internal: allocated in the schedule body, or a
+ * schedule argument whose outer buffer is used by this schedule alone. */
+bool
+effectivelyInternal(ScheduleOp schedule, Value* channel)
+{
+    if (!channel->isBlockArgument())
+        return channel->definingOp() != nullptr &&
+               channel->definingOp()->parentOp() == schedule.op();
+    if (channel->ownerBlock() != schedule.body())
+        return false;
+    Value* outer = schedule.op()->operand(channel->index());
+    if (!isa<BufferOp>(outer->definingOp()))
+        return false;
+    return outer->users().size() == 1;  // only this schedule touches it
+}
+
+/** Fuse all of @p producers into a single node at the last one's position. */
+NodeOp
+mergeNodes(const std::vector<NodeOp>& producers)
+{
+    HIDA_ASSERT(producers.size() >= 2, "merge requires at least two nodes");
+    // Union of operands with joined effects.
+    std::vector<Value*> operands;
+    std::vector<MemoryEffect> effects;
+    auto add_operand = [&](Value* value, MemoryEffect effect) {
+        for (size_t i = 0; i < operands.size(); ++i) {
+            if (operands[i] == value) {
+                effects[i] = static_cast<MemoryEffect>(
+                    static_cast<int64_t>(effects[i]) |
+                    static_cast<int64_t>(effect));
+                return;
+            }
+        }
+        operands.push_back(value);
+        effects.push_back(effect);
+    };
+    for (NodeOp node : producers)
+        for (unsigned i = 0; i < node.op()->numOperands(); ++i)
+            add_operand(node.op()->operand(i), node.effect(i));
+
+    OpBuilder builder;
+    builder.setInsertionPointAfter(producers.back().op());
+    NodeOp merged =
+        NodeOp::create(builder, operands, effects, producers.front().label());
+
+    for (NodeOp node : producers) {
+        // Move body content; rewire the old args to the merged args.
+        for (unsigned i = 0; i < node.op()->numOperands(); ++i) {
+            Value* outer = node.op()->operand(i);
+            int merged_index = operandIndexOf(merged, outer);
+            HIDA_ASSERT(merged_index >= 0, "operand lost in merge");
+            node.innerArg(i)->replaceAllUsesWith(
+                merged.innerArg(static_cast<unsigned>(merged_index)));
+        }
+        for (Operation* op : node.body()->ops())
+            op->moveToEnd(merged.body());
+        node.op()->erase();
+    }
+    return merged;
+}
+
+class MultiProducerElimPass : public Pass {
+  public:
+    MultiProducerElimPass() : Pass("multi-producer-elim") {}
+
+    void
+    runOnModule(ModuleOp module) override
+    {
+        std::vector<Operation*> schedules;
+        module.op()->walk([&](Operation* op) {
+            if (isa<ScheduleOp>(op))
+                schedules.push_back(op);
+        }, WalkOrder::kPostOrder);
+        for (Operation* schedule : schedules)
+            runOnSchedule(ScheduleOp(schedule));
+    }
+
+  private:
+    void
+    runOnSchedule(ScheduleOp schedule)
+    {
+        // Case (1): internal buffers (Alg. 3 lines 1-10).
+        DataflowGraph graph(schedule);
+        auto process_internal = [&](Value* channel) {
+            if (!channel->type().isMemRef())
+                return;
+            std::vector<NodeOp> producers = graph.producersOf(channel);
+            for (size_t pi = 1; pi < producers.size(); ++pi) {
+                NodeOp producer = producers[pi];
+                Value* duplicate = cloneBuffer(schedule, channel);
+                redirectProducer(producer, channel, duplicate);
+                // Redirect every user dominated by this producer.
+                for (NodeOp user : graph.nodes()) {
+                    if (user.op() == producer.op())
+                        continue;
+                    if (producer.op()->isBeforeInBlock(user.op())) {
+                        int idx = operandIndexOf(user, channel);
+                        if (idx >= 0)
+                            user.op()->setOperand(static_cast<unsigned>(idx),
+                                                  duplicate);
+                    }
+                }
+                channel = duplicate;  // later producers duplicate the latest
+            }
+        };
+        for (Value* channel : graph.internalChannels())
+            process_internal(channel);
+        for (Value* channel : graph.externalChannels())
+            if (effectivelyInternal(schedule, channel))
+                process_internal(channel);
+
+        // Case (2): remaining external buffers (Alg. 3 lines 11-13).
+        DataflowGraph updated(schedule);
+        for (Value* channel : updated.externalChannels()) {
+            if (effectivelyInternal(schedule, channel))
+                continue;
+            std::vector<NodeOp> producers = updated.producersOf(channel);
+            if (producers.size() >= 2) {
+                mergeNodes(producers);
+                updated = DataflowGraph(schedule);  // graph changed
+            }
+        }
+    }
+
+    /** Clone the buffer behind @p channel; returns the value at the same
+     * level as @p channel (schedule arg clones alias through new args). */
+    Value*
+    cloneBuffer(ScheduleOp schedule, Value* channel)
+    {
+        if (!channel->isBlockArgument()) {
+            Operation* def = channel->definingOp();
+            ValueMapping mapping;
+            Operation* clone = def->clone(mapping);
+            OpBuilder builder;
+            builder.setInsertionPointAfter(def);
+            builder.insert(clone);
+            clone->result(0)->setNameHint(channel->nameHint() + "_dup");
+            return clone->result(0);
+        }
+        // Schedule argument backed by an exclusive outer buffer: clone the
+        // outer buffer and thread it through a fresh schedule argument.
+        Value* outer = schedule.op()->operand(channel->index());
+        Operation* def = outer->definingOp();
+        ValueMapping mapping;
+        Operation* clone = def->clone(mapping);
+        OpBuilder builder;
+        builder.setInsertionPointAfter(def);
+        builder.insert(clone);
+        clone->result(0)->setNameHint(outer->nameHint() + "_dup");
+        schedule.op()->appendOperand(clone->result(0));
+        return schedule.body()->addArgument(clone->result(0)->type(),
+                                            clone->result(0)->nameHint());
+    }
+
+    /** Point @p producer's accesses at @p duplicate, inserting the explicit
+     * copy when the producer reads the original (Alg. 3 lines 5-7). */
+    void
+    redirectProducer(NodeOp producer, Value* original, Value* duplicate)
+    {
+        int idx = operandIndexOf(producer, original);
+        HIDA_ASSERT(idx >= 0, "producer does not reference the buffer");
+        bool had_read = producer.reads(static_cast<unsigned>(idx));
+        MemoryEffect new_effect =
+            had_read ? MemoryEffect::kReadWrite : MemoryEffect::kWrite;
+        Value* dup_arg = producer.appendArgument(duplicate, new_effect);
+        Value* orig_arg = producer.innerArg(static_cast<unsigned>(idx));
+        orig_arg->replaceAllUsesWith(dup_arg);
+        if (had_read) {
+            OpBuilder builder;
+            builder.setInsertionPointToStart(producer.body());
+            CopyOp::create(builder, orig_arg, dup_arg);
+            producer.setEffect(static_cast<unsigned>(idx), MemoryEffect::kRead);
+        } else {
+            producer.removeArgument(static_cast<unsigned>(idx));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createMultiProducerElimPass()
+{
+    return std::make_unique<MultiProducerElimPass>();
+}
+
+} // namespace hida

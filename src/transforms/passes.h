@@ -1,0 +1,81 @@
+#ifndef HIDA_TRANSFORMS_PASSES_H
+#define HIDA_TRANSFORMS_PASSES_H
+
+/**
+ * @file
+ * HIDA-OPT pass declarations (Section 6 of the paper) plus the option
+ * struct shared by all flows. Passes are constructed with the options and
+ * added to a PassManager by the driver.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "src/ir/pass.h"
+
+namespace hida {
+
+/** Parallelization strategy for the Fig. 11 ablation. */
+struct ParallelStrategy {
+    bool intensityAware = true;   ///< IA: factors proportional to intensity.
+    bool connectionAware = true;  ///< CA: align factors across connections.
+};
+
+/** Knobs controlling the optimization pipeline (one per HIDA feature). */
+struct FlowOptions {
+    /** Wrap computation graphs into dispatch/task (Algorithm 1). */
+    bool enableDataflow = true;
+    /** Pattern-driven + rebalancing task fusion (Algorithm 2). */
+    bool enableTaskFusion = true;
+    /** Tile large layers through external memory (HIDA); when false all
+     * intermediate results stay on-chip (the ScaleHLS behaviour, Fig. 9). */
+    bool enableTiling = true;
+    /** Eliminate multi-producer buffers (Algorithm 3). */
+    bool enableMultiProducerElim = true;
+    /** Balance data paths with duplicated buffers / soft FIFOs (6.4.2). */
+    bool enableBalancing = true;
+    /** IA/CA toggles (Fig. 11 ablation). */
+    ParallelStrategy strategy;
+    /** Uniform factors for every node (ScaleHLS-style parallelization). */
+    bool uniformParallelization = false;
+    /** Maximum parallel factor for the critical node (Section 6.5 step 3). */
+    int64_t maxParallelFactor = 64;
+    /** Tile size used for tiled lowering (Fig. 10 ablation sweeps this). */
+    int64_t tileSize = 32;
+    /** Apply any parallelization at all (Vitis baseline: pipeline only). */
+    bool enableParallelization = true;
+};
+
+/** Algorithm 1: wrap dispatchable regions into dispatch/task ops. */
+std::unique_ptr<Pass> createFuncDataflowConstructPass();
+
+/** Algorithm 2: pattern-driven task fusion + critical-path rebalancing. */
+std::unique_ptr<Pass> createTaskFusionPass(FlowOptions options);
+
+/** Bufferize tensors and lower nn ops to (optionally tiled) affine nests. */
+std::unique_ptr<Pass> createLowerNnToAffinePass(FlowOptions options);
+
+/** Section 6.3: lower Functional dataflow to Structural dataflow. */
+std::unique_ptr<Pass> createLowerToStructuralPass(FlowOptions options);
+
+/** Algorithm 3: multi-producer elimination. */
+std::unique_ptr<Pass> createMultiProducerElimPass();
+
+/** Section 6.4.2: balance data paths (buffer stages / soft FIFO + tokens). */
+std::unique_ptr<Pass> createBalanceDataPathsPass(FlowOptions options);
+
+/** Section 6.5 / Algorithm 4: IA+CA dataflow parallelization. */
+std::unique_ptr<Pass> createParallelizePass(FlowOptions options);
+
+/** Derive array partitions from unroll factors (Table 6). */
+std::unique_ptr<Pass> createArrayPartitionPass(FlowOptions options);
+
+/** Mark innermost loops for pipelining (Vitis-auto behaviour). */
+std::unique_ptr<Pass> createPipelineDirectivesPass();
+
+/** Create port/bundle/pack module interfaces (Table 3, "Module Interface"). */
+std::unique_ptr<Pass> createCreateInterfacesPass();
+
+} // namespace hida
+
+#endif // HIDA_TRANSFORMS_PASSES_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Print/parse round-trip tests: the parser must rebuild every IR the
+ * compiler produces, at every pipeline stage, such that re-printing gives
+ * byte-identical text; malformed inputs must produce errors, not crashes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/driver/driver.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/models/dnn_models.h"
+#include "src/models/polybench.h"
+
+namespace hida {
+namespace {
+
+void
+expectRoundTrip(ModuleOp module)
+{
+    std::string once = toString(module.op());
+    ParseResult parsed = parseModule(once);
+    ASSERT_TRUE(parsed) << *parsed.error;
+    EXPECT_FALSE(verify(parsed.module.get().op()).has_value());
+    std::string twice = toString(parsed.module.get().op());
+    EXPECT_EQ(once, twice);
+}
+
+TEST(ParserTest, RoundTripsFunctionalIr)
+{
+    OwnedModule module = buildTinyCnn();
+    expectRoundTrip(module.get());
+}
+
+TEST(ParserTest, RoundTripsAffineKernel)
+{
+    OwnedModule module = buildPolybenchKernel("2mm", 8);
+    expectRoundTrip(module.get());
+}
+
+class ParserStageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserStageProperty, RoundTripsEveryPipelineStage)
+{
+    // Compile under each flow and round-trip the fully optimized IR,
+    // which exercises every dialect: hida structural ops, buffers with
+    // partitions, streams, ports, directives.
+    Flow flow = static_cast<Flow>(GetParam());
+    OwnedModule module = buildPolybenchKernel("atax", 16);
+    compile(module.get(), flow, TargetDevice::zu3eg());
+    expectRoundTrip(module.get());
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, ParserStageProperty,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ParserTest, RoundTripsOptimizedDnn)
+{
+    OwnedModule module = buildTinyCnn();
+    FlowOptions options = optionsFor(Flow::kHida);
+    options.maxParallelFactor = 4;
+    compile(module.get(), options, TargetDevice::zu3eg());
+    expectRoundTrip(module.get());
+}
+
+TEST(ParserTest, ParsesTypes)
+{
+    const char* text =
+        "builtin.module() {\n"
+        "  func.func() {sym_name = \"t\"} {\n"
+        "    %b = hida.buffer() {stages = 2} : memref<4x8xi8, on_chip>\n"
+        "    %s = hida.stream() : stream<token, 3>\n"
+        "  }\n"
+        "}\n";
+    ParseResult parsed = parseModule(text);
+    ASSERT_TRUE(parsed) << *parsed.error;
+    FuncOp func = parsed.module.get().lookupFunc("t");
+    ASSERT_TRUE(func);
+    auto ops = func.body()->ops();
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0]->result(0)->type(),
+              Type::memref({4, 8}, Type::i8(), MemorySpace::kOnChip));
+    EXPECT_EQ(ops[1]->result(0)->type(), Type::stream(Type::token(), 3));
+}
+
+TEST(ParserTest, ReportsUndefinedValues)
+{
+    ParseResult parsed = parseModule(
+        "builtin.module() {\n  func.func() {sym_name = \"t\"} {\n"
+        "    arith.add(%missing : i8, %missing : i8)\n  }\n}\n");
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error->find("undefined value"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsSyntaxErrors)
+{
+    EXPECT_FALSE(parseModule("builtin.module( {"));
+    EXPECT_FALSE(parseModule("not_a_module()"));
+    EXPECT_FALSE(parseModule(""));
+    EXPECT_FALSE(parseModule("builtin.module() { func.func( }"));
+}
+
+TEST(ParserTest, ParsesAttributes)
+{
+    const char* text =
+        "builtin.module() {\n"
+        "  func.func() {factors = [1, 2, 3], name = \"x\", pi = 3.5, "
+        "flag = unit, neg = -7} {\n  }\n}\n";
+    ParseResult parsed = parseModule(text);
+    ASSERT_TRUE(parsed) << *parsed.error;
+    Operation* func = parsed.module.get().body()->ops()[0];
+    EXPECT_EQ(func->attr("factors").asI64Array(),
+              (std::vector<int64_t>{1, 2, 3}));
+    EXPECT_EQ(func->attr("name").asString(), "x");
+    EXPECT_DOUBLE_EQ(func->attr("pi").asFloat(), 3.5);
+    EXPECT_EQ(func->attr("flag").kind(), AttrKind::kUnit);
+    EXPECT_EQ(func->attr("neg").asInt(), -7);
+}
+
+} // namespace
+} // namespace hida

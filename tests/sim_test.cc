@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dataflow simulator tests: pipelined chains, bounded channels, join
+ * back-pressure (the Figure 8 scenario), multi-producer sequentialization,
+ * and parameterized sweeps over chain length and channel capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/dataflow_sim.h"
+
+namespace hida {
+namespace {
+
+SimGraph
+chain(int n, int64_t latency, int64_t capacity)
+{
+    SimGraph graph;
+    for (int i = 0; i + 1 < n; ++i)
+        graph.channels.push_back({capacity});
+    for (int i = 0; i < n; ++i) {
+        SimNode node;
+        node.latency = latency;
+        if (i > 0)
+            node.inputs.push_back(i - 1);
+        if (i + 1 < n)
+            node.outputs.push_back(i);
+        graph.nodes.push_back(node);
+    }
+    return graph;
+}
+
+TEST(SimTest, SingleNode)
+{
+    SimGraph graph;
+    graph.nodes.push_back({50, {}, {}});
+    SimResult result = simulate(graph);
+    EXPECT_EQ(result.frameLatency, 50);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 50.0);
+}
+
+TEST(SimTest, PingPongChainReachesMaxNodeInterval)
+{
+    SimResult result = simulate(chain(4, 100, 2));
+    EXPECT_EQ(result.frameLatency, 400);        // fill the pipeline
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 100.0);  // then one frame per L
+}
+
+TEST(SimTest, CapacityOneSerializesAdjacentPairs)
+{
+    SimResult result = simulate(chain(2, 100, 1));
+    // The producer cannot start frame f+1 until the consumer finished f.
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 200.0);
+}
+
+TEST(SimTest, UnbalancedNodeLatenciesBoundTheInterval)
+{
+    SimGraph graph = chain(3, 10, 2);
+    graph.nodes[1].latency = 70;  // slow middle stage
+    SimResult result = simulate(graph);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 70.0);
+}
+
+TEST(SimTest, Figure8JoinStallsWithoutBalancing)
+{
+    // Node0 -> Node1 -> Node2 and Node0 -> Node2 (short path, capacity 1).
+    SimGraph graph;
+    graph.channels = {{2}, {2}, {1}};
+    graph.nodes = {{100, {}, {0, 2}}, {100, {0}, {1}}, {100, {1, 2}, {}}};
+    SimResult stalled = simulate(graph);
+    EXPECT_GT(stalled.steadyInterval, 150.0);
+
+    graph.channels[2].capacity = 3;  // balanced: slack + 2
+    SimResult balanced = simulate(graph);
+    EXPECT_DOUBLE_EQ(balanced.steadyInterval, 100.0);
+}
+
+TEST(SimTest, SequentialModeSumsLatencies)
+{
+    SimGraph graph;
+    graph.sequential = true;
+    graph.nodes = {{10, {}, {}}, {20, {}, {}}, {30, {}, {}}};
+    SimResult result = simulate(graph);
+    EXPECT_EQ(result.frameLatency, 60);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 60.0);
+}
+
+TEST(SimTest, EmptyGraph)
+{
+    SimResult result = simulate(SimGraph{});
+    EXPECT_EQ(result.frameLatency, 0);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 0.0);
+}
+
+/** Property sweep: for any chain, ping-pong interval equals the slowest
+ * node and latency equals the sum of latencies. */
+class SimChainProperty
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(SimChainProperty, IntervalEqualsSlowestNode)
+{
+    auto [length, latency] = GetParam();
+    SimGraph graph = chain(length, latency, 2);
+    // Perturb node latencies deterministically.
+    int64_t max_latency = 0;
+    int64_t sum = 0;
+    for (int i = 0; i < length; ++i) {
+        graph.nodes[i].latency = latency + 13 * ((i * 7) % 5);
+        max_latency = std::max(max_latency, graph.nodes[i].latency);
+        sum += graph.nodes[i].latency;
+    }
+    SimResult result = simulate(graph, 64);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, static_cast<double>(max_latency));
+    EXPECT_EQ(result.frameLatency, sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, SimChainProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13),
+                       ::testing::Values(int64_t{1}, int64_t{10},
+                                         int64_t{100})));
+
+/** Property sweep: capacity-k chains settle at interval <= 2L and >= L,
+ * monotonically improving with capacity. */
+class SimCapacityProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SimCapacityProperty, MoreCapacityNeverHurts)
+{
+    int64_t capacity = GetParam();
+    SimResult base = simulate(chain(5, 100, capacity));
+    SimResult more = simulate(chain(5, 100, capacity + 1));
+    EXPECT_LE(more.steadyInterval, base.steadyInterval);
+    EXPECT_GE(base.steadyInterval, 100.0);
+    EXPECT_LE(base.steadyInterval, 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SimCapacityProperty,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+} // namespace
+} // namespace hida
