@@ -12,6 +12,7 @@
  * the HIDA point is the fully automated flow.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -34,13 +35,16 @@ struct Point {
 void
 setLayerFactors(ModuleOp module, int64_t seq, int64_t kpf, int64_t cpf)
 {
+    static const Identifier layer_seq_id = Identifier::get("layer_seq");
+    static const Identifier kpf_loop_id = Identifier::get("kpf_loop");
+    static const Identifier cpf_loop_id = Identifier::get("cpf_loop");
     module.op()->walk([&](Operation* op) {
-        if (!isa<ForOp>(op) || op->intAttrOr("layer_seq", -1) != seq)
+        if (!isa<ForOp>(op) || op->intAttrOr(layer_seq_id, -1) != seq)
             return;
-        if (op->hasAttr("kpf_loop"))
+        if (op->hasAttr(kpf_loop_id))
             ForOp(op).setUnrollFactor(
                 std::min<int64_t>(kpf, ForOp(op).tripCount()));
-        if (op->hasAttr("cpf_loop"))
+        if (op->hasAttr(cpf_loop_id))
             ForOp(op).setUnrollFactor(
                 std::min<int64_t>(cpf, ForOp(op).tripCount()));
     });

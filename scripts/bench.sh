@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Build the Release tree and run the two tracked performance benchmarks:
+#
+#   bench_fig1_lenet_dse   - the 24k-point LeNet DSE sweep (Figure 1 /
+#                            Table 2); its wall time is the headline
+#                            compiler-performance metric.
+#   bench_compile_time     - google-benchmark pipeline microbenchmarks
+#                            (Tables 7/8 compile-time columns).
+#
+# Emits BENCH_dse.json (points/sec of the DSE sweep plus the raw output
+# hash so result drift is detectable) and BENCH_compile_time.json (the
+# google-benchmark JSON report). Run from anywhere inside the repo.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target bench_fig1_lenet_dse bench_compile_time
+
+# ---- DSE sweep: wall time over the fixed 24,000-point grid ----------------
+DSE_POINTS=24000
+DSE_OUT="$BUILD_DIR/bench_fig1_lenet_dse.out"
+start_ns=$(date +%s%N)
+"$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT"
+end_ns=$(date +%s%N)
+wall_s=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
+pps=$(awk "BEGIN { printf \"%.1f\", $DSE_POINTS / $wall_s }")
+out_sha=$(sha256sum "$DSE_OUT" | cut -d' ' -f1)
+
+cat > "$REPO_ROOT/BENCH_dse.json" <<EOF
+{
+  "bench": "bench_fig1_lenet_dse",
+  "points": $DSE_POINTS,
+  "wall_seconds": $wall_s,
+  "points_per_sec": $pps,
+  "output_sha256": "$out_sha",
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "commit": "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+}
+EOF
+echo "DSE sweep: ${wall_s}s for $DSE_POINTS points (${pps} points/sec)"
+
+# ---- Pipeline compile-time microbenchmarks --------------------------------
+"$BUILD_DIR/bench_compile_time" \
+    --benchmark_format=json \
+    --benchmark_out="$REPO_ROOT/BENCH_compile_time.json" \
+    --benchmark_out_format=json > /dev/null
+echo "Wrote BENCH_dse.json and BENCH_compile_time.json"

@@ -86,9 +86,7 @@ accessPattern(NodeOp node, Value* channel, bool want_store)
             StoreOp store(op);
             for (unsigned i = 0; i < store.numIndices(); ++i)
                 indices.push_back(store.index(i));
-        } else if (!want_store &&
-                   (op->name() == LoadOp::kOpName ||
-                    op->name() == "affine.load_padded") &&
+        } else if (!want_store && isAffineLoad(op) &&
                    op->operand(0) == inner) {
             LoadOp load(op);
             for (unsigned i = 0; i < load.numIndices(); ++i)

@@ -12,16 +12,16 @@ collectAccesses(Operation* root)
 {
     std::map<Value*, AccessSummary> result;
     root->walk([&](Operation* op) {
-        if (op->name() == LoadOp::kOpName || op->name() == "affine.load_padded") {
+        if (isAffineLoad(op)) {
             result[op->operand(0)].loadSites++;
-        } else if (op->name() == StoreOp::kOpName) {
+        } else if (isa<StoreOp>(op)) {
             result[op->operand(1)].storeSites++;
         } else if (auto copy = dynCast<CopyOp>(op)) {
             result[copy.source()].loadSites++;
             result[copy.dest()].storeSites++;
-        } else if (op->name() == StreamReadOp::kOpName) {
+        } else if (isa<StreamReadOp>(op)) {
             result[op->operand(0)].loadSites++;
-        } else if (op->name() == StreamWriteOp::kOpName) {
+        } else if (isa<StreamWriteOp>(op)) {
             result[op->operand(1)].storeSites++;
         } else if (auto node = dynCast<NodeOp>(op)) {
             // A nested node already knows its effects; propagate them to the

@@ -37,23 +37,40 @@ class ForOp : public OpWrapper {
     static ForOp create(OpBuilder& builder, int64_t lb, int64_t ub,
                         int64_t step = 1, const std::string& iv_hint = "i");
 
-    int64_t lowerBound() const { return op_->intAttrOr("lb", 0); }
-    int64_t upperBound() const { return op_->intAttrOr("ub", 0); }
-    int64_t step() const { return op_->intAttrOr("step", 1); }
+    int64_t lowerBound() const { return op_->intAttrOr(lbId(), 0); }
+    int64_t upperBound() const { return op_->intAttrOr(ubId(), 0); }
+    int64_t step() const { return op_->intAttrOr(stepId(), 1); }
     /** Number of iterations. */
     int64_t tripCount() const;
 
     Value* inductionVar() const { return op_->body()->argument(0); }
     Block* body() const { return op_->body(); }
 
-    int64_t unrollFactor() const { return op_->intAttrOr("unroll", 1); }
-    void setUnrollFactor(int64_t factor) { op_->setIntAttr("unroll", factor); }
-    bool isPipelined() const { return op_->hasAttr("pipeline"); }
-    void setPipelined() { op_->setAttr("pipeline", Attribute::unit()); }
-    bool isParallel() const { return op_->hasAttr("parallel"); }
-    void setParallel() { op_->setAttr("parallel", Attribute::unit()); }
-    bool isReduction() const { return op_->hasAttr("reduction"); }
-    void setReduction() { op_->setAttr("reduction", Attribute::unit()); }
+    int64_t unrollFactor() const { return op_->intAttrOr(unrollId(), 1); }
+    void setUnrollFactor(int64_t factor)
+    {
+        op_->setIntAttr(unrollId(), factor);
+    }
+    bool isPipelined() const { return op_->hasAttr(pipelineId()); }
+    void setPipelined() { op_->setAttr(pipelineId(), Attribute::unit()); }
+    bool isParallel() const { return op_->hasAttr(parallelId()); }
+    void setParallel() { op_->setAttr(parallelId(), Attribute::unit()); }
+    bool isReduction() const { return op_->hasAttr(reductionId()); }
+    void setReduction() { op_->setAttr(reductionId(), Attribute::unit()); }
+
+    /** @name Cached interned directive keys (hot on the DSE path). @{ */
+    // clang-format off
+    static Identifier lbId() { static const Identifier id = Identifier::get("lb"); return id; }
+    static Identifier ubId() { static const Identifier id = Identifier::get("ub"); return id; }
+    static Identifier stepId() { static const Identifier id = Identifier::get("step"); return id; }
+    static Identifier unrollId() { static const Identifier id = Identifier::get("unroll"); return id; }
+    static Identifier pipelineId() { static const Identifier id = Identifier::get("pipeline"); return id; }
+    static Identifier parallelId() { static const Identifier id = Identifier::get("parallel"); return id; }
+    static Identifier reductionId() { static const Identifier id = Identifier::get("reduction"); return id; }
+    static Identifier iiId() { static const Identifier id = Identifier::get("ii"); return id; }
+    static Identifier tileLoopId() { static const Identifier id = Identifier::get("tile_loop"); return id; }
+    // clang-format on
+    /** @} */
 };
 
 /**
@@ -86,6 +103,25 @@ class LoadOp : public OpWrapper {
     unsigned numIndices() const { return op_->numOperands() - 1; }
     Value* index(unsigned i) const { return op_->operand(i + 1); }
 };
+
+/** Interned id of the boundary-padded load form ("affine.load_padded"). */
+inline Identifier
+paddedLoadNameId()
+{
+    static const Identifier id = Identifier::get("affine.load_padded");
+    return id;
+}
+
+/**
+ * True for either affine load form ("affine.load" / "affine.load_padded");
+ * both share the LoadOp operand layout. Two integer compares.
+ */
+inline bool
+isAffineLoad(const Operation* op)
+{
+    return op->nameId() == opNameId<LoadOp>() ||
+           op->nameId() == paddedLoadNameId();
+}
 
 /** Affine memory store ("affine.store"): operands = value, memref, indices... */
 class StoreOp : public OpWrapper {

@@ -13,6 +13,19 @@ constexpr std::array<const char*, 6> kBinaryNames = {
     "arith.add", "arith.sub", "arith.mul", "arith.div", "arith.max", "arith.min",
 };
 
+/** Interned ids of kBinaryNames, cached once. */
+const std::array<Identifier, 6>&
+binaryIds()
+{
+    static const std::array<Identifier, 6> ids = [] {
+        std::array<Identifier, 6> result;
+        for (size_t i = 0; i < kBinaryNames.size(); ++i)
+            result[i] = Identifier::get(kBinaryNames[i]);
+        return result;
+    }();
+    return ids;
+}
+
 } // namespace
 
 ConstantOp
@@ -41,8 +54,8 @@ BinaryOp::create(OpBuilder& builder, BinaryKind kind, Value* lhs, Value* rhs)
 bool
 BinaryOp::matches(const Operation* op)
 {
-    for (const char* name : kBinaryNames)
-        if (op->name() == name)
+    for (Identifier id : binaryIds())
+        if (op->nameId() == id)
             return true;
     return false;
 }
@@ -56,8 +69,9 @@ BinaryOp::nameFor(BinaryKind kind)
 BinaryKind
 BinaryOp::kind() const
 {
-    for (size_t i = 0; i < kBinaryNames.size(); ++i)
-        if (op_->name() == kBinaryNames[i])
+    const auto& ids = binaryIds();
+    for (size_t i = 0; i < ids.size(); ++i)
+        if (op_->nameId() == ids[i])
             return static_cast<BinaryKind>(i);
     HIDA_PANIC("not a binary op: ", op_->name());
 }
@@ -69,12 +83,13 @@ CastOp::create(OpBuilder& builder, Value* input, Type result_type)
 }
 
 OpHwCost
-scalarOpCost(const std::string& op_name, Type type)
+scalarOpCost(Identifier op_name, Type type)
 {
     const bool is_float = type.isFloat();
     const unsigned width = type.bitWidth();
+    const auto& ids = binaryIds();
 
-    if (op_name == "arith.mul") {
+    if (op_name == ids[static_cast<size_t>(BinaryKind::kMul)]) {
         if (is_float)
             return {.dsp = 3, .lut = 100, .ff = 150, .latency = 4};
         if (width <= 8)
@@ -83,18 +98,20 @@ scalarOpCost(const std::string& op_name, Type type)
             return {.dsp = 1, .lut = 40, .ff = 40, .latency = 2};
         return {.dsp = 3, .lut = 80, .ff = 80, .latency = 3};
     }
-    if (op_name == "arith.add" || op_name == "arith.sub") {
+    if (op_name == ids[static_cast<size_t>(BinaryKind::kAdd)] ||
+        op_name == ids[static_cast<size_t>(BinaryKind::kSub)]) {
         if (is_float)
             return {.dsp = 2, .lut = 200, .ff = 220, .latency = 5};
         return {.dsp = 0, .lut = static_cast<int>(width), .ff = 0, .latency = 1};
     }
-    if (op_name == "arith.div") {
+    if (op_name == ids[static_cast<size_t>(BinaryKind::kDiv)]) {
         if (is_float)
             return {.dsp = 0, .lut = 800, .ff = 900, .latency = 12};
         return {.dsp = 0, .lut = 1000, .ff = 1100,
                 .latency = static_cast<int>(width)};
     }
-    if (op_name == "arith.max" || op_name == "arith.min") {
+    if (op_name == ids[static_cast<size_t>(BinaryKind::kMax)] ||
+        op_name == ids[static_cast<size_t>(BinaryKind::kMin)]) {
         return {.dsp = 0, .lut = static_cast<int>(width) * 2, .ff = 0,
                 .latency = 1};
     }

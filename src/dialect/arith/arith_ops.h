@@ -69,7 +69,7 @@ struct OpHwCost {
  * (fully pipelined unit). Mirrors Vitis HLS resource characterization:
  * f32 mul = 3 DSP, f32 add = 2 DSP, int8/int16 mul = 1 DSP, etc.
  */
-OpHwCost scalarOpCost(const std::string& op_name, Type type);
+OpHwCost scalarOpCost(Identifier op_name, Type type);
 
 /** Register arith op metadata. */
 void registerArithDialect();

@@ -106,8 +106,9 @@ NodeOp::setLabel(const std::string& label)
 MemoryEffect
 NodeOp::effect(unsigned operand_index) const
 {
+    // Index the array attribute in place: no i64 vector materialization.
     return static_cast<MemoryEffect>(
-        op_->attr("effects").asI64Array().at(operand_index));
+        op_->attr(effectsId()).asArray().at(operand_index).asInt());
 }
 
 void
@@ -196,16 +197,16 @@ BufferOp::create(OpBuilder& builder, Type memref_type, int64_t stages,
 std::vector<int64_t>
 BufferOp::partitionFactors() const
 {
-    if (op_->hasAttr("partition_factors"))
-        return op_->attr("partition_factors").asI64Array();
+    if (op_->hasAttr(partitionFactorsId()))
+        return op_->attr(partitionFactorsId()).asI64Array();
     return std::vector<int64_t>(type().shape().size(), 1);
 }
 
 std::vector<int64_t>
 BufferOp::partitionFashions() const
 {
-    if (op_->hasAttr("partition_fashions"))
-        return op_->attr("partition_fashions").asI64Array();
+    if (op_->hasAttr(partitionFashionsId()))
+        return op_->attr(partitionFashionsId()).asI64Array();
     return std::vector<int64_t>(type().shape().size(),
                                 static_cast<int64_t>(PartitionFashion::kNone));
 }
@@ -217,8 +218,8 @@ BufferOp::setPartition(const std::vector<int64_t>& fashions,
     HIDA_ASSERT(fashions.size() == type().shape().size() &&
                     factors.size() == type().shape().size(),
                 "partition rank mismatch");
-    op_->setAttr("partition_fashions", Attribute::i64Array(fashions));
-    op_->setAttr("partition_factors", Attribute::i64Array(factors));
+    op_->setAttr(partitionFashionsId(), Attribute::i64Array(fashions));
+    op_->setAttr(partitionFactorsId(), Attribute::i64Array(factors));
 }
 
 int64_t
@@ -230,28 +231,28 @@ BufferOp::bankCount() const
 std::vector<int64_t>
 BufferOp::tileFactors() const
 {
-    if (op_->hasAttr("tile_factors"))
-        return op_->attr("tile_factors").asI64Array();
+    if (op_->hasAttr(tileFactorsId()))
+        return op_->attr(tileFactorsId()).asI64Array();
     return std::vector<int64_t>(type().shape().size(), 1);
 }
 
 void
 BufferOp::setTileFactors(const std::vector<int64_t>& factors)
 {
-    op_->setAttr("tile_factors", Attribute::i64Array(factors));
+    op_->setAttr(tileFactorsId(), Attribute::i64Array(factors));
 }
 
 std::string
 BufferOp::memKind() const
 {
-    return op_->hasAttr("mem_kind") ? op_->attr("mem_kind").asString()
+    return op_->hasAttr(memKindId()) ? op_->attr(memKindId()).asString()
                                     : "bram_t2p";
 }
 
 void
 BufferOp::setMemKind(const std::string& kind)
 {
-    op_->setAttr("mem_kind", Attribute::string(kind));
+    op_->setAttr(memKindId(), Attribute::string(kind));
 }
 
 StreamOp

@@ -126,6 +126,13 @@ class NodeOp : public OpWrapper {
     bool reads(unsigned i) const;
     bool writes(unsigned i) const;
 
+    /** Cached interned key of the per-operand "effects" array. */
+    static Identifier effectsId()
+    {
+        static const Identifier id = Identifier::get("effects");
+        return id;
+    }
+
     /** Operand indices of buffers/streams this node writes. */
     std::vector<unsigned> writtenOperandIndices() const;
     std::vector<unsigned> readOperandIndices() const;
@@ -151,8 +158,8 @@ class BufferOp : public OpWrapper {
                            int64_t stages = 1, const std::string& hint = "buf");
 
     Type type() const { return op_->result(0)->type(); }
-    int64_t stages() const { return op_->intAttrOr("stages", 1); }
-    void setStages(int64_t stages) { op_->setIntAttr("stages", stages); }
+    int64_t stages() const { return op_->intAttrOr(stagesId(), 1); }
+    void setStages(int64_t stages) { op_->setIntAttr(stagesId(), stages); }
 
     std::vector<int64_t> partitionFactors() const;
     void setPartition(const std::vector<int64_t>& fashions,
@@ -163,7 +170,10 @@ class BufferOp : public OpWrapper {
 
     std::vector<int64_t> tileFactors() const;
     void setTileFactors(const std::vector<int64_t>& factors);
-    int64_t vectorFactor() const { return op_->intAttrOr("vector_factor", 1); }
+    int64_t vectorFactor() const
+    {
+        return op_->intAttrOr(vectorFactorId(), 1);
+    }
 
     std::string memKind() const;
     void setMemKind(const std::string& kind);
@@ -172,6 +182,17 @@ class BufferOp : public OpWrapper {
     {
         return type().memorySpace() == MemorySpace::kExternal;
     }
+
+    /** @name Cached interned attribute keys (hot on the DSE path). @{ */
+    // clang-format off
+    static Identifier stagesId() { static const Identifier id = Identifier::get("stages"); return id; }
+    static Identifier partitionFactorsId() { static const Identifier id = Identifier::get("partition_factors"); return id; }
+    static Identifier partitionFashionsId() { static const Identifier id = Identifier::get("partition_fashions"); return id; }
+    static Identifier tileFactorsId() { static const Identifier id = Identifier::get("tile_factors"); return id; }
+    static Identifier vectorFactorId() { static const Identifier id = Identifier::get("vector_factor"); return id; }
+    static Identifier memKindId() { static const Identifier id = Identifier::get("mem_kind"); return id; }
+    // clang-format on
+    /** @} */
 };
 
 /** Partition fashion encoding for "partition_fashions". */

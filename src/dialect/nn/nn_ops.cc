@@ -171,7 +171,8 @@ UpsampleOp::create(OpBuilder& builder, Value* input, int64_t scale)
 bool
 isNnOp(const Operation* op)
 {
-    return op->dialect() == "nn";
+    static const Identifier nn_dialect = Identifier::get("nn");
+    return op->dialectId() == nn_dialect;
 }
 
 int64_t

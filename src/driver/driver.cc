@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/dialect/nn/nn_ops.h"
 #include "src/ir/registry.h"
 #include "src/ir/verifier.h"
 #include "src/support/diagnostics.h"
@@ -53,7 +54,7 @@ scaleHlsSupports(ModuleOp module)
 {
     bool supported = true;
     module.op()->walk([&](Operation* op) {
-        if (op->name() == "nn.conv2d") {
+        if (isa<Conv2dOp>(op)) {
             int64_t kernel = op->operand(1)->type().shape().back();
             int64_t stride = op->intAttrOr("stride", 1);
             int64_t pad = op->intAttrOr("pad", 0);

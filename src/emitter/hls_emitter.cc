@@ -190,9 +190,9 @@ Emitter::emitOp(Operation* op)
             << " depth=" << stream.depth() << "\n";
         return;
     }
-    if (op->name() == LoadOp::kOpName || op->name() == "affine.load_padded") {
+    if (isAffineLoad(op)) {
         LoadOp load(op);
-        bool padded = op->name() != LoadOp::kOpName;
+        bool padded = op->nameId() != opNameId<LoadOp>();
         indent();
         os_ << cType(op->result(0)->type()) << " "
             << nameOf(op->result(0), "ld") << " = ";
@@ -240,14 +240,14 @@ Emitter::emitOp(Operation* op)
             << indexExpr(op->result(0)) << ";\n";
         return;
     }
-    if (op->name() == StreamReadOp::kOpName) {
+    if (isa<StreamReadOp>(op)) {
         indent();
         os_ << cType(op->result(0)->type()) << " "
             << nameOf(op->result(0), "tok") << " = "
             << nameOf(op->operand(0)) << ".read();\n";
         return;
     }
-    if (op->name() == StreamWriteOp::kOpName) {
+    if (isa<StreamWriteOp>(op)) {
         indent();
         os_ << nameOf(op->operand(1)) << ".write(" << nameOf(op->operand(0))
             << ");\n";

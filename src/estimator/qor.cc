@@ -25,8 +25,8 @@ tileFrames(NodeOp node)
 {
     int64_t frames = 1;
     node.op()->walk([&](Operation* op) {
-        if (isa<ForOp>(op) && op->hasAttr("tile_loop") &&
-            op->parentOfName(NodeOp::kOpName) == node.op())
+        if (isa<ForOp>(op) && op->hasAttr(ForOp::tileLoopId()) &&
+            op->parentOfName(opNameId<NodeOp>()) == node.op())
             frames *= ForOp(op).tripCount();
     });
     return std::max<int64_t>(frames, 1);
@@ -36,11 +36,11 @@ tileFrames(NodeOp node)
 bool
 hasAccumulation(Block* body)
 {
-    for (Operation* op : body->ops()) {
+    for (Operation* op : *body) {
         if (auto store = dynCast<StoreOp>(op)) {
             // Does any load in the same block read the same memref?
-            for (Operation* other : body->ops()) {
-                if (other->name() == LoadOp::kOpName &&
+            for (Operation* other : *body) {
+                if (isa<LoadOp>(other) &&
                     other->operand(0) == store.memref())
                     return true;
             }
@@ -50,6 +50,56 @@ hasAccumulation(Block* body)
 }
 
 } // namespace
+
+uint64_t
+QorEstimator::directiveFingerprint(Operation* root)
+{
+    // Seed with the root pointer: two live subtrees never collide on it,
+    // and the full directive state below is folded in so a recycled
+    // address with different directives still changes the key.
+    uint64_t h = hashMix(reinterpret_cast<uintptr_t>(root));
+    auto fold_attrs = [&h](const Operation* op) {
+        for (const auto& [key, value] : op->attrs()) {
+            if (key == ForOp::iiId())
+                continue;  // estimator output, not an estimation input
+            h = hashCombine(h, key.raw());
+            h = hashCombine(h, value.hash());
+        }
+    };
+    root->walk([&](Operation* op) {
+        h = hashCombine(h, op->nameId().raw());
+        h = hashCombine(h, op->numOperands());
+        fold_attrs(op);
+        for (Value* operand : op->operands()) {
+            Type type = operand->type();
+            h = hashCombine(h, type.hash());
+            // The banking/staging attributes of the buffer behind a memref
+            // operand drive the II and resource models; the buffer op may
+            // live outside this subtree (func/schedule scope), so fold it
+            // in at every access site.
+            if (type.isMemRef()) {
+                if (BufferOp buffer = resolveBuffer(operand))
+                    fold_attrs(buffer.op());
+            }
+        }
+        for (unsigned i = 0; i < op->numResults(); ++i)
+            h = hashCombine(h, op->result(i)->type().hash());
+        for (unsigned r = 0; r < op->numRegions(); ++r)
+            for (const auto& block : op->region(r).blocks())
+                for (unsigned i = 0; i < block->numArguments(); ++i)
+                    h = hashCombine(h, block->argument(i)->type().hash());
+    }, WalkOrder::kPreOrder);
+    // Loops enclosing the root feed the estimate from above: their unroll
+    // factors enter the port-pressure model and tile loops multiply the
+    // external refetch traffic (enclosingLoops crosses node boundaries).
+    for (Operation* p = root->parentOp(); p != nullptr; p = p->parentOp()) {
+        if (!isa<ForOp>(p))
+            continue;
+        h = hashCombine(h, p->nameId().raw());
+        fold_attrs(p);
+    }
+    return h;
+}
 
 BufferOp
 QorEstimator::resolveBuffer(Value* value)
@@ -89,8 +139,7 @@ QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosin
     body->parentOp()->walk([&](Operation* op) {
         Value* memref = nullptr;
         std::vector<Value*> indices;
-        if (op->name() == LoadOp::kOpName ||
-            op->name() == "affine.load_padded") {
+        if (isAffineLoad(op)) {
             LoadOp load(op);
             memref = load.memref();
             for (unsigned i = 0; i < load.numIndices(); ++i)
@@ -103,7 +152,7 @@ QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosin
             return;
         }
         BufferOp buffer = resolveBuffer(memref);
-        if (!buffer || buffer.op()->hasAttr("partition_factors"))
+        if (!buffer || buffer.op()->hasAttr(BufferOp::partitionFactorsId()))
             return;
         auto& factors = predicted[memref];
         factors.resize(memref->type().shape().size(), 1);
@@ -178,8 +227,7 @@ QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosin
     };
 
     body->parentOp()->walk([&](Operation* op) {
-        if (op->name() == LoadOp::kOpName ||
-            op->name() == "affine.load_padded") {
+        if (isAffineLoad(op)) {
             LoadOp load(op);
             std::vector<Value*> indices;
             for (unsigned i = 0; i < load.numIndices(); ++i)
@@ -207,7 +255,7 @@ QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosin
     // Loop-carried accumulation recurrence.
     if (hasAccumulation(body)) {
         Type elem;
-        for (Operation* op : body->ops())
+        for (Operation* op : *body)
             if (isa<StoreOp>(op))
                 elem = StoreOp(op).value()->type();
         int64_t dep = elem && elem.isFloat() ? 5 : 1;
@@ -224,7 +272,7 @@ QorEstimator::costOfLoopNest(ForOp loop)
     Block* deepest = nest.back().body();
 
     bool flat_pipeline = true;
-    for (Operation* op : deepest->ops()) {
+    for (Operation* op : *deepest) {
         if (isa<ForOp>(op)) {
             flat_pipeline = false;
             break;
@@ -256,9 +304,8 @@ QorEstimator::costOfLoopNest(ForOp loop)
         int64_t ld = 0, st = 0, other = 0;
         bool touches_external = false;
         unsigned bits = 8;
-        for (Operation* op : deepest->ops()) {
-            if (op->name() == LoadOp::kOpName ||
-                op->name() == "affine.load_padded") {
+        for (Operation* op : *deepest) {
+            if (isAffineLoad(op)) {
                 ++ld;
                 if (op->operand(0)->type().memorySpace() ==
                     MemorySpace::kExternal)
@@ -280,7 +327,7 @@ QorEstimator::costOfLoopNest(ForOp loop)
         }
         int64_t depth = kPipelineDepthBase + body_cost.latency;
         cost.latency = (iters - 1) * ii + depth + kLoopOverhead;
-        nest.back().op()->setIntAttr("ii", ii);
+        recordIi(nest.back().op(), ii);
     } else {
         // Imperfect: iterate the body cost (which recurses into sub-nests).
         cost.latency = iters * body_cost.latency + kLoopOverhead;
@@ -302,8 +349,7 @@ QorEstimator::externalCost(Operation* root)
     root->walk([&](Operation* op) {
         Value* memref = nullptr;
         std::vector<Value*> indices;
-        if (op->name() == LoadOp::kOpName ||
-            op->name() == "affine.load_padded") {
+        if (isAffineLoad(op)) {
             LoadOp load(op);
             memref = load.memref();
             for (unsigned i = 0; i < load.numIndices(); ++i)
@@ -349,7 +395,7 @@ QorEstimator::externalCost(Operation* root)
         }
         int64_t reload = 1;
         for (ForOp loop : enclosingLoops(op)) {
-            if (!loop.op()->hasAttr("tile_loop"))
+            if (!loop.op()->hasAttr(ForOp::tileLoopId()))
                 continue;
             if (std::find(used_ivs.begin(), used_ivs.end(),
                           loop.inductionVar()) == used_ivs.end())
@@ -370,7 +416,7 @@ QorEstimator::BlockCost
 QorEstimator::costOfBlock(Block* block)
 {
     BlockCost cost;
-    for (Operation* op : block->ops()) {
+    for (Operation* op : *block) {
         if (auto loop = dynCast<ForOp>(op)) {
             BlockCost nest = costOfLoopNest(loop);
             cost.latency += nest.latency;
@@ -393,7 +439,7 @@ QorEstimator::costOfBlock(Block* block)
             cost.res.lut += 60;
             cost.res.ff += 80;
         } else if (isa<BinaryOp>(op)) {
-            OpHwCost hw = scalarOpCost(op->name(), op->operand(0)->type());
+            OpHwCost hw = scalarOpCost(op->nameId(), op->operand(0)->type());
             cost.latency += hw.latency;
             cost.res += {hw.lut, hw.ff, hw.dsp, 0};
         } else if (isa<ApplyOp>(op)) {
@@ -401,13 +447,10 @@ QorEstimator::costOfBlock(Block* block)
             // shift-adds; DSP-based address generation only appears in the
             // fine-grained external access engines (see externalCost).
             cost.res.lut += op->numOperands() >= 2 ? 40 : 16;
-        } else if (op->name() == LoadOp::kOpName ||
-                   op->name() == "affine.load_padded" ||
-                   isa<StoreOp>(op)) {
+        } else if (isAffineLoad(op) || isa<StoreOp>(op)) {
             cost.latency += 1;
             cost.res.lut += 12;
-        } else if (op->name() == StreamReadOp::kOpName ||
-                   op->name() == StreamWriteOp::kOpName) {
+        } else if (isa<StreamReadOp>(op) || isa<StreamWriteOp>(op)) {
             cost.latency += 1;
             cost.res.lut += 20;
         }
@@ -480,6 +523,41 @@ QorEstimator::applyExternalCost(const ExtCost& ext, int64_t& latency,
 DesignQor
 QorEstimator::estimateNode(NodeOp node)
 {
+    return estimateNodeWithFp(node, directiveFingerprint(node.op()));
+}
+
+void
+QorEstimator::recordIi(Operation* loop, int64_t ii)
+{
+    loop->setIntAttr(ForOp::iiId(), ii);
+    for (auto* recorder : iiRecorders_)
+        recorder->emplace_back(loop, ii);
+}
+
+int64_t
+QorEstimator::tileFramesOf(NodeOp node, uint64_t fp)
+{
+    if (auto it = tileMemo_.find(fp); it != tileMemo_.end())
+        return it->second;
+    int64_t frames = tileFrames(node);
+    tileMemo_.emplace(fp, frames);
+    return frames;
+}
+
+DesignQor
+QorEstimator::estimateNodeWithFp(NodeOp node, uint64_t fp)
+{
+    if (auto it = memo_.find(fp); it != memo_.end()) {
+        ++cacheStats_.hits;
+        // Re-apply the ii annotations this estimate produced (also logs
+        // them into any enclosing in-flight memo entry).
+        for (const auto& [loop, ii] : it->second.iiWrites)
+            recordIi(loop, ii);
+        return it->second.qor;
+    }
+    ++cacheStats_.misses;
+    MemoEntry entry;
+    iiRecorders_.push_back(&entry.iiWrites);
     DesignQor qor;
     BlockCost cost = costOfBlock(node.body());
     qor.latencyCycles = std::max<int64_t>(cost.latency, 1);
@@ -487,25 +565,41 @@ QorEstimator::estimateNode(NodeOp node)
     // Nodes touching external memory are bounded by the AXI bandwidth;
     // nested sub-schedules account for their own nodes' traffic.
     bool has_sub_schedule = false;
-    for (Operation* op : node.body()->ops())
+    for (Operation* op : *node.body())
         if (isa<ScheduleOp>(op))
             has_sub_schedule = true;
     if (!has_sub_schedule)
         applyExternalCost(externalCost(node.op()), qor.latencyCycles,
                           qor.res);
     qor.intervalCycles = static_cast<double>(qor.latencyCycles);
+    iiRecorders_.pop_back();
+    entry.qor = qor;
+    memo_.emplace(fp, std::move(entry));
     return qor;
 }
 
 DesignQor
 QorEstimator::estimateLoop(ForOp loop)
 {
+    uint64_t fp = directiveFingerprint(loop.op());
+    if (auto it = memo_.find(fp); it != memo_.end()) {
+        ++cacheStats_.hits;
+        for (const auto& [nest_loop, ii] : it->second.iiWrites)
+            recordIi(nest_loop, ii);
+        return it->second.qor;
+    }
+    ++cacheStats_.misses;
+    MemoEntry entry;
+    iiRecorders_.push_back(&entry.iiWrites);
     DesignQor qor;
     BlockCost cost = costOfLoopNest(loop);
     applyExternalCost(externalCost(loop.op()), cost.latency, cost.res);
     qor.latencyCycles = std::max<int64_t>(cost.latency, 1);
     qor.intervalCycles = static_cast<double>(qor.latencyCycles);
     qor.res = cost.res;
+    iiRecorders_.pop_back();
+    entry.qor = qor;
+    memo_.emplace(fp, std::move(entry));
     return qor;
 }
 
@@ -520,16 +614,18 @@ QorEstimator::estimateSchedule(ScheduleOp schedule)
     int64_t frames = 1;
     std::vector<int64_t> per_frame;
     for (NodeOp node : nodes) {
-        DesignQor node_qor = estimateNode(node);
+        // One fingerprint per node serves both memo caches.
+        uint64_t fp = directiveFingerprint(node.op());
+        DesignQor node_qor = estimateNodeWithFp(node, fp);
         qor.res += node_qor.res;
-        int64_t tiles = tileFrames(node);
+        int64_t tiles = tileFramesOf(node, fp);
         frames = std::max(frames, tiles);
         per_frame.push_back(
             std::max<int64_t>(1, node_qor.latencyCycles / std::max<int64_t>(
                                      tiles, 1)));
     }
     // Non-node content (buffers, streams) contributes resources only.
-    for (Operation* op : schedule.body()->ops()) {
+    for (Operation* op : *schedule.body()) {
         if (auto buffer = dynCast<BufferOp>(op))
             qor.res += bufferResources(buffer);
     }
@@ -608,18 +704,18 @@ QorEstimator::estimateFunc(FuncOp func)
     DesignQor qor;
     double interval = 0.0;
     BlockCost top;
-    for (Operation* op : func.body()->ops()) {
+    for (Operation* op : *func.body()) {
         if (auto schedule = dynCast<ScheduleOp>(op)) {
             DesignQor q = estimateSchedule(schedule);
             qor.res += q.res;
             qor.latencyCycles += q.latencyCycles;
             interval = std::max(interval, q.intervalCycles);
         } else if (auto loop = dynCast<ForOp>(op)) {
-            BlockCost cost = costOfLoopNest(loop);
-            applyExternalCost(externalCost(loop.op()), cost.latency,
-                              cost.res);
-            qor.res += cost.res;
-            qor.latencyCycles += cost.latency;
+            // Memoized: a DSE sweep re-estimates only the nests whose
+            // directives changed since the last point.
+            DesignQor q = estimateLoop(loop);
+            qor.res += q.res;
+            qor.latencyCycles += q.latencyCycles;
         } else if (auto buffer = dynCast<BufferOp>(op)) {
             qor.res += bufferResources(buffer);
         } else if (auto node = dynCast<NodeOp>(op)) {

@@ -17,7 +17,11 @@
  *    including sequentialization under multi-producer violations.
  */
 
+#include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/dialect/hida/hida_ops.h"
 #include "src/estimator/device.h"
@@ -41,12 +45,50 @@ struct DesignQor {
     }
 };
 
-/** Estimates latency, interval and resources of Structural-dataflow IR. */
+/** Hit/miss counters of the per-node QoR memo cache. */
+struct QorCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/**
+ * Estimates latency, interval and resources of Structural-dataflow IR.
+ *
+ * Node and standalone-loop estimates are memoized on a *directive
+ * fingerprint*: a structural hash of the estimated subtree (op names,
+ * attributes minus the estimator-written "ii", operand/result/block-arg
+ * types), the partition/stage/vector attributes of the buffer behind
+ * every memref operand (resolved through isolation boundaries, since
+ * buffers usually live outside the subtree), and the directives of loops
+ * enclosing the root (their unroll factors and tile_loop tags feed the
+ * port-pressure and refetch models). A DSE sweep that re-applies
+ * directives point by point therefore only re-estimates the nodes whose
+ * factors actually changed; every untouched node is a hash lookup. The
+ * "ii" attributes an estimate writes are replayed on cache hits so the
+ * IR annotation always matches the returned estimate.
+ *
+ * Invalidation rule: any IR state that influences an estimate must feed
+ * the fingerprint — the cache is never explicitly flushed on directive
+ * changes, a changed fingerprint simply misses. Cache entries are keyed
+ * by (root pointer, fingerprint), so an estimator must not be reused
+ * across unrelated modules whose operations could alias in memory;
+ * create one estimator per design (as the driver and benches do) or call
+ * invalidateCache() between designs.
+ */
 class QorEstimator {
   public:
     explicit QorEstimator(TargetDevice device) : device_(std::move(device)) {}
 
     const TargetDevice& device() const { return device_; }
+
+    /** Memo-cache hit/miss counters (estimateNode/estimateLoop). */
+    const QorCacheStats& cacheStats() const { return cacheStats_; }
+    /** Drop all memoized estimates (e.g. when switching modules). */
+    void invalidateCache()
+    {
+        memo_.clear();
+        tileMemo_.clear();
+    }
 
     /** Estimate the design rooted at @p func (body latency + resources). */
     DesignQor estimateFunc(FuncOp func);
@@ -93,7 +135,35 @@ class QorEstimator {
                                const std::vector<class ForOp>& enclosing);
     Resources bufferResources(BufferOp buffer);
 
+    /** Directive fingerprint of the subtree rooted at @p root (see class
+     * comment). Allocation-free: one in-place walk, integer hashing. */
+    uint64_t directiveFingerprint(Operation* root);
+
+    /** estimateNode body with the fingerprint already computed. */
+    DesignQor estimateNodeWithFp(NodeOp node, uint64_t fp);
+    /** Memoized tile-frame count of a node (same fingerprint key). */
+    int64_t tileFramesOf(NodeOp node, uint64_t fp);
+
+    /**
+     * A memoized estimate plus the "ii" attributes the estimation wrote
+     * (the emitter reads them as pipeline pragmas). A cache hit replays
+     * the writes so the IR annotation matches the returned estimate even
+     * when another directive point was estimated in between.
+     */
+    struct MemoEntry {
+        DesignQor qor;
+        std::vector<std::pair<Operation*, int64_t>> iiWrites;
+    };
+
+    /** Set a loop's "ii" attr and log it into every open memo entry. */
+    void recordIi(Operation* loop, int64_t ii);
+
     TargetDevice device_;
+    std::unordered_map<uint64_t, MemoEntry> memo_;
+    std::unordered_map<uint64_t, int64_t> tileMemo_;
+    /** Stack of in-flight memo entries collecting ii writes. */
+    std::vector<std::vector<std::pair<Operation*, int64_t>>*> iiRecorders_;
+    QorCacheStats cacheStats_;
 };
 
 } // namespace hida

@@ -322,12 +322,11 @@ class LoweredInterpreter {
                 op->result(0)->type().numElements(), 0.0);
             return;
         }
-        if (op->name() == LoadOp::kOpName ||
-            op->name() == "affine.load_padded") {
+        if (isAffineLoad(op)) {
             bool in_bounds = true;
             int64_t flat = flatIndex(op, op->operand(0), 1, &in_bounds);
             if (!in_bounds) {
-                HIDA_ASSERT(op->name() != LoadOp::kOpName,
+                HIDA_ASSERT(op->nameId() != opNameId<LoadOp>(),
                             "out-of-bounds affine.load");
                 env_[op->result(0)] = 0.0;  // implicit zero padding
             } else {
@@ -381,7 +380,7 @@ class LoweredInterpreter {
         if (isa<StreamOp>(op) || isa<StreamWriteOp>(op) ||
             isa<PortOp>(op) || isa<BundleOp>(op) || isa<PackOp>(op))
             return;  // synchronization only; no data effect here
-        if (op->name() == StreamReadOp::kOpName) {
+        if (isa<StreamReadOp>(op)) {
             env_[op->result(0)] = 1.0;  // token
             return;
         }
@@ -417,8 +416,7 @@ hasConsumerReads(FuncOp func, Value* buffer)
 {
     bool consumer = false;
     func.op()->walk([&](Operation* op) {
-        if (op->name() != LoadOp::kOpName &&
-            op->name() != "affine.load_padded")
+        if (!isAffineLoad(op))
             return;
         // Resolve the accessed value through isolation boundaries.
         Value* accessed = op->operand(0);

@@ -1,8 +1,11 @@
 #include "src/ir/attribute.h"
 
+#include <bit>
+#include <functional>
 #include <sstream>
 
 #include "src/support/diagnostics.h"
+#include "src/support/utils.h"
 
 namespace hida {
 
@@ -186,6 +189,45 @@ Attribute::asAffineMap() const
 {
     HIDA_ASSERT(impl_ && impl_->kind == AttrKind::kAffineMap, "not a map attr");
     return impl_->mapValue;
+}
+
+uint64_t
+Attribute::hash() const
+{
+    if (!impl_)
+        return 0;
+    const AttrStorage& s = *impl_;
+    if (s.hashCache != 0)
+        return s.hashCache;
+    uint64_t h = hashMix(static_cast<uint64_t>(s.kind) + 1);
+    switch (s.kind) {
+      case AttrKind::kUnit:
+        break;
+      case AttrKind::kInt:
+        h = hashCombine(h, static_cast<uint64_t>(s.intValue));
+        break;
+      case AttrKind::kFloat:
+        h = hashCombine(h, std::bit_cast<uint64_t>(s.floatValue));
+        break;
+      case AttrKind::kString:
+        h = hashCombine(h, std::hash<std::string>{}(s.stringValue));
+        break;
+      case AttrKind::kType:
+        h = hashCombine(h, s.typeValue.hash());
+        break;
+      case AttrKind::kArray:
+        for (const Attribute& a : s.arrayValue)
+            h = hashCombine(h, a.hash());
+        break;
+      case AttrKind::kAffineMap:
+        for (int64_t p : s.mapValue.permutation)
+            h = hashCombine(h, static_cast<uint64_t>(p));
+        for (double f : s.mapValue.scaling)
+            h = hashCombine(h, std::bit_cast<uint64_t>(f));
+        break;
+    }
+    s.hashCache = h == 0 ? 1 : h;  // reserve 0 for "not computed"
+    return s.hashCache;
 }
 
 std::string

@@ -55,6 +55,8 @@ struct AttrStorage {
     Type typeValue;
     std::vector<Attribute> arrayValue;
     SemiAffineMap mapValue;
+    /** Lazily computed structural hash (0 = not yet computed). */
+    mutable uint64_t hashCache = 0;
 };
 
 /** Value-semantic attribute handle; default-constructed handles are null. */
@@ -83,6 +85,12 @@ class Attribute {
     const std::vector<Attribute>& asArray() const;
     std::vector<int64_t> asI64Array() const;
     const SemiAffineMap& asAffineMap() const;
+
+    /**
+     * Structural 64-bit hash: equal attributes hash equally regardless of
+     * the backing storage object. Feeds the QoR directive fingerprint.
+     */
+    uint64_t hash() const;
 
     std::string str() const;
 

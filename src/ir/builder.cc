@@ -35,10 +35,18 @@ OpBuilder::setInsertionPointAfter(Operation* op)
 }
 
 Operation*
-OpBuilder::create(std::string name, std::vector<Value*> operands,
+OpBuilder::create(std::string_view name, std::vector<Value*> operands,
                   const std::vector<Type>& result_types, unsigned num_regions)
 {
-    Operation* op = Operation::create(std::move(name), std::move(operands),
+    return create(Identifier::get(name), std::move(operands), result_types,
+                  num_regions);
+}
+
+Operation*
+OpBuilder::create(Identifier name, std::vector<Value*> operands,
+                  const std::vector<Type>& result_types, unsigned num_regions)
+{
+    Operation* op = Operation::create(name, std::move(operands),
                                       result_types, num_regions);
     return insert(op);
 }

@@ -8,7 +8,7 @@
  * call into this builder.
  */
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/ir/operation.h"
@@ -55,7 +55,12 @@ class OpBuilder {
      * @param result_types result types (one Value per entry).
      * @param num_regions number of (initially empty) regions.
      */
-    Operation* create(std::string name, std::vector<Value*> operands = {},
+    Operation* create(Identifier name, std::vector<Value*> operands = {},
+                      const std::vector<Type>& result_types = {},
+                      unsigned num_regions = 0);
+    /** String-keyed convenience overload; interns @p name. */
+    Operation* create(std::string_view name,
+                      std::vector<Value*> operands = {},
                       const std::vector<Type>& result_types = {},
                       unsigned num_regions = 0);
 

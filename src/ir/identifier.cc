@@ -1,0 +1,74 @@
+#include "src/ir/identifier.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace hida {
+
+namespace {
+
+/**
+ * Process-wide intern table. Strings are stored in a deque so their
+ * addresses stay stable as the table grows; the index map keys are views
+ * into that storage. Slot 0 is reserved for the null identifier.
+ */
+struct Interner {
+    std::deque<std::string> strings;
+    std::vector<uint32_t> dialects;  ///< Dialect-prefix id per interned id.
+    std::unordered_map<std::string_view, uint32_t> index;
+
+    Interner()
+    {
+        strings.emplace_back();
+        dialects.push_back(0);
+    }
+};
+
+Interner&
+interner()
+{
+    static Interner table;
+    return table;
+}
+
+uint32_t
+internImpl(std::string_view str)
+{
+    Interner& table = interner();
+    if (auto it = table.index.find(str); it != table.index.end())
+        return it->second;
+    table.strings.emplace_back(str);
+    uint32_t id = static_cast<uint32_t>(table.strings.size() - 1);
+    table.index.emplace(table.strings.back(), id);
+    table.dialects.push_back(id);
+    auto dot = str.find('.');
+    if (dot != std::string_view::npos) {
+        // May grow the table; re-index instead of holding references.
+        uint32_t dialect_id = internImpl(str.substr(0, dot));
+        interner().dialects[id] = dialect_id;
+    }
+    return id;
+}
+
+} // namespace
+
+Identifier
+Identifier::get(std::string_view str)
+{
+    return Identifier(internImpl(str));
+}
+
+const std::string&
+Identifier::str() const
+{
+    return interner().strings[id_];
+}
+
+Identifier
+Identifier::dialect() const
+{
+    return Identifier(interner().dialects[id_]);
+}
+
+} // namespace hida

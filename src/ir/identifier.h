@@ -1,0 +1,67 @@
+#ifndef HIDA_IR_IDENTIFIER_H
+#define HIDA_IR_IDENTIFIER_H
+
+/**
+ * @file
+ * Globally interned identifiers. Every op name and attribute key in the IR
+ * is interned once into a process-wide table and afterwards carried as a
+ * uint32 handle, so name dispatch (`isa<OpT>`, dialect checks) and
+ * attribute lookup on the DSE hot path are integer compares instead of
+ * std::string comparisons. Interned strings live for the process lifetime,
+ * which lets `str()` hand out stable references.
+ *
+ * Like the rest of the IR kernel (OpRegistry, use-def bookkeeping), the
+ * interner assumes single-threaded compilation.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hida {
+
+/** A uint32-backed handle onto a process-wide interned string. */
+class Identifier {
+  public:
+    /** Null identifier; compares unequal to every interned string. */
+    Identifier() = default;
+
+    /** Intern @p str (idempotent) and return its handle. */
+    static Identifier get(std::string_view str);
+
+    /** The interned string; stable for the process lifetime. */
+    const std::string& str() const;
+
+    /**
+     * Dialect prefix identifier: "affine" for "affine.for". Identifiers
+     * without a '.' are their own dialect. Precomputed at intern time.
+     */
+    Identifier dialect() const;
+
+    explicit operator bool() const { return id_ != 0; }
+    bool operator==(Identifier other) const { return id_ == other.id_; }
+    bool operator!=(Identifier other) const { return id_ != other.id_; }
+    /** Orders by intern id (creation order), not lexicographically. */
+    bool operator<(Identifier other) const { return id_ < other.id_; }
+
+    /** Raw intern id (0 is the null identifier). */
+    uint32_t raw() const { return id_; }
+
+  private:
+    explicit Identifier(uint32_t id) : id_(id) {}
+
+    uint32_t id_ = 0;
+};
+
+/** Interned op-name identifier of an OpWrapper subclass, cached per type. */
+template <typename OpT>
+inline Identifier
+opNameId()
+{
+    static const Identifier id = Identifier::get(OpT::kOpName);
+    return id;
+}
+
+} // namespace hida
+
+#endif // HIDA_IR_IDENTIFIER_H

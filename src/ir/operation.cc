@@ -130,10 +130,10 @@ Block::ops() const
 //===----------------------------------------------------------------------===//
 
 Operation*
-Operation::create(std::string name, std::vector<Value*> operands,
+Operation::create(Identifier name, std::vector<Value*> operands,
                   const std::vector<Type>& result_types, unsigned num_regions)
 {
-    auto* op = new Operation(std::move(name));
+    auto* op = new Operation(name);
     for (Value* v : operands)
         op->appendOperand(v);
     for (unsigned i = 0; i < result_types.size(); ++i)
@@ -155,13 +155,6 @@ Operation::destroyDetached(Operation* op)
 
 Operation::~Operation() = default;
 
-std::string
-Operation::dialect() const
-{
-    auto dot = name_.find('.');
-    return dot == std::string::npos ? name_ : name_.substr(0, dot);
-}
-
 void
 Operation::addUse(Value* value, unsigned operand_index)
 {
@@ -174,7 +167,7 @@ Operation::removeUse(Value* value, unsigned operand_index)
     auto& uses = value->uses_;
     auto it = std::find(uses.begin(), uses.end(),
                         std::make_pair(this, operand_index));
-    HIDA_ASSERT(it != uses.end(), "use record missing for ", name_);
+    HIDA_ASSERT(it != uses.end(), "use record missing for ", name());
     uses.erase(it);
 }
 
@@ -192,7 +185,7 @@ Operation::setOperand(unsigned i, Value* value)
 void
 Operation::appendOperand(Value* value)
 {
-    HIDA_ASSERT(value != nullptr, "null operand on ", name_);
+    HIDA_ASSERT(value != nullptr, "null operand on ", name());
     operands_.push_back(value);
     addUse(value, static_cast<unsigned>(operands_.size() - 1));
 }
@@ -270,24 +263,71 @@ Operation::addRegion()
     return regions_.back().get();
 }
 
-Attribute
-Operation::attr(const std::string& key) const
+namespace {
+
+/** lower_bound over the id-sorted attribute list. */
+inline Operation::AttrList::const_iterator
+attrLowerBound(const Operation::AttrList& attrs, Identifier key)
 {
-    auto it = attrs_.find(key);
-    return it == attrs_.end() ? Attribute() : it->second;
+    return std::lower_bound(
+        attrs.begin(), attrs.end(), key,
+        [](const Operation::AttrEntry& entry, Identifier k) {
+            return entry.first < k;
+        });
+}
+
+} // namespace
+
+bool
+Operation::hasAttr(Identifier key) const
+{
+    auto it = attrLowerBound(attrs_, key);
+    return it != attrs_.end() && it->first == key;
+}
+
+Attribute
+Operation::attr(Identifier key) const
+{
+    auto it = attrLowerBound(attrs_, key);
+    return it != attrs_.end() && it->first == key ? it->second : Attribute();
 }
 
 int64_t
-Operation::intAttrOr(const std::string& key, int64_t def) const
+Operation::intAttrOr(Identifier key, int64_t def) const
 {
-    auto it = attrs_.find(key);
-    return it == attrs_.end() ? def : it->second.asInt();
+    auto it = attrLowerBound(attrs_, key);
+    return it != attrs_.end() && it->first == key ? it->second.asInt() : def;
+}
+
+void
+Operation::setAttr(Identifier key, Attribute value)
+{
+    auto it = attrLowerBound(attrs_, key);
+    if (it != attrs_.end() && it->first == key) {
+        // Overwrite in place. Keep the existing storage on equal values so
+        // repeated directive re-application (the DSE loop) preserves
+        // structure sharing and cached hashes.
+        if (it->second == value)
+            return;
+        attrs_[it - attrs_.begin()].second = std::move(value);
+        return;
+    }
+    attrs_.insert(attrs_.begin() + (it - attrs_.begin()),
+                  AttrEntry(key, std::move(value)));
+}
+
+void
+Operation::removeAttr(Identifier key)
+{
+    auto it = attrLowerBound(attrs_, key);
+    if (it != attrs_.end() && it->first == key)
+        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
 }
 
 Block*
 Operation::body()
 {
-    HIDA_ASSERT(!regions_.empty(), "op ", name_, " has no regions");
+    HIDA_ASSERT(!regions_.empty(), "op ", name(), " has no regions");
     if (regions_.front()->empty())
         regions_.front()->addBlock();
     return &regions_.front()->front();
@@ -300,10 +340,10 @@ Operation::parentOp() const
 }
 
 Operation*
-Operation::parentOfName(const std::string& name) const
+Operation::parentOfName(Identifier name) const
 {
     for (Operation* p = parentOp(); p != nullptr; p = p->parentOp())
-        if (p->name() == name)
+        if (p->nameId() == name)
             return p;
     return nullptr;
 }
@@ -388,7 +428,7 @@ void
 Operation::erase()
 {
     HIDA_ASSERT(block_ != nullptr, "erasing a detached op");
-    HIDA_ASSERT(!hasAnyResultUses(), "erasing op ", name_, " with live uses");
+    HIDA_ASSERT(!hasAnyResultUses(), "erasing op ", name(), " with live uses");
     while (numOperands() > 0)
         eraseOperand(numOperands() - 1);
     Block* block = block_;
@@ -399,7 +439,7 @@ Operation::erase()
 Operation*
 Operation::clone(ValueMapping& mapping) const
 {
-    auto* cloned = new Operation(name_);
+    auto* cloned = new Operation(nameId_);
     cloned->attrs_ = attrs_;
     for (Value* operand : operands_)
         cloned->appendOperand(mapping.lookupOrSelf(operand));
@@ -432,16 +472,38 @@ Operation::clone(ValueMapping& mapping) const
 }
 
 void
-Operation::walk(const std::function<void(Operation*)>& fn, WalkOrder order)
+Operation::walk(FunctionRef<void(Operation*)> fn, WalkOrder order)
 {
     if (order == WalkOrder::kPreOrder)
         fn(this);
     for (const auto& region : regions_) {
         for (const auto& block : region->blocks()) {
-            // Snapshot for mutation tolerance.
+            // Latch the next sibling before visiting so a kPostOrder
+            // callback may erase the visited op itself (std::list erasure
+            // only invalidates the erased iterator).
+            auto& ops = block->ops_;
+            for (auto it = ops.begin(); it != ops.end();) {
+                Operation* op = it->get();
+                ++it;
+                op->walk(fn, order);
+            }
+        }
+    }
+    if (order == WalkOrder::kPostOrder)
+        fn(this);
+}
+
+void
+Operation::walkSafe(FunctionRef<void(Operation*)> fn, WalkOrder order)
+{
+    if (order == WalkOrder::kPreOrder)
+        fn(this);
+    for (const auto& region : regions_) {
+        for (const auto& block : region->blocks()) {
+            // Snapshot for full structural-mutation tolerance.
             std::vector<Operation*> snapshot = block->ops();
             for (Operation* op : snapshot)
-                op->walk(fn, order);
+                op->walkSafe(fn, order);
         }
     }
     if (order == WalkOrder::kPostOrder)
@@ -449,7 +511,7 @@ Operation::walk(const std::function<void(Operation*)>& fn, WalkOrder order)
 }
 
 std::vector<Operation*>
-Operation::collect(const std::function<bool(Operation*)>& filter) const
+Operation::collect(FunctionRef<bool(Operation*)> filter) const
 {
     std::vector<Operation*> result;
     const_cast<Operation*>(this)->walk([&](Operation* op) {

@@ -14,14 +14,16 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/ir/attribute.h"
+#include "src/ir/identifier.h"
 #include "src/ir/type.h"
+#include "src/support/function_ref.h"
 
 namespace hida {
 
@@ -146,6 +148,25 @@ class Block {
     Operation* back() const { return ops_.back().get(); }
     /** Snapshot of the current operations (safe to mutate while visiting). */
     std::vector<Operation*> ops() const;
+
+    /** In-place iterator over Operation* (no snapshot allocation). */
+    class OpIterator {
+      public:
+        explicit OpIterator(OpList::const_iterator it) : it_(it) {}
+        Operation* operator*() const { return it_->get(); }
+        OpIterator& operator++()
+        {
+            ++it_;
+            return *this;
+        }
+        bool operator==(const OpIterator& other) const = default;
+
+      private:
+        OpList::const_iterator it_;
+    };
+    /** In-place begin/end; do not add/remove ops while iterating. */
+    OpIterator begin() const { return OpIterator(ops_.begin()); }
+    OpIterator end() const { return OpIterator(ops_.end()); }
     /** @} */
 
   private:
@@ -171,9 +192,18 @@ class Operation {
      * eventually inserted into (see OpBuilder); detached ops must be
      * destroyed with destroyDetached().
      */
-    static Operation* create(std::string name, std::vector<Value*> operands,
+    static Operation* create(Identifier name, std::vector<Value*> operands,
                              const std::vector<Type>& result_types,
                              unsigned num_regions = 0);
+    /** String-keyed convenience overload; interns @p name. */
+    static Operation* create(std::string_view name,
+                             std::vector<Value*> operands,
+                             const std::vector<Type>& result_types,
+                             unsigned num_regions = 0)
+    {
+        return create(Identifier::get(name), std::move(operands),
+                      result_types, num_regions);
+    }
     /** Destroy an operation that was never inserted into a block. */
     static void destroyDetached(Operation* op);
 
@@ -181,9 +211,12 @@ class Operation {
     Operation(const Operation&) = delete;
     Operation& operator=(const Operation&) = delete;
 
-    const std::string& name() const { return name_; }
+    /** Interned op name; `isa<OpT>` and dispatch compare this id. */
+    Identifier nameId() const { return nameId_; }
+    const std::string& name() const { return nameId_.str(); }
     /** Dialect prefix of the op name ("affine" for "affine.for"). */
-    std::string dialect() const;
+    const std::string& dialect() const { return nameId_.dialect().str(); }
+    Identifier dialectId() const { return nameId_.dialect(); }
 
     /** @name Operands. @{ */
     unsigned numOperands() const { return operands_.size(); }
@@ -212,17 +245,50 @@ class Operation {
      */
     void dropAllReferences();
 
-    /** @name Attributes. @{ */
-    bool hasAttr(const std::string& key) const { return attrs_.count(key) != 0; }
-    Attribute attr(const std::string& key) const;
-    int64_t intAttrOr(const std::string& key, int64_t def) const;
-    void setAttr(const std::string& key, Attribute value) { attrs_[key] = value; }
-    void setIntAttr(const std::string& key, int64_t v)
+    /**
+     * @name Attributes.
+     * Stored as a flat vector sorted by interned key id: lookups are a
+     * branch-light binary search over a cache-friendly array, and the
+     * string-keyed overloads are thin shims that intern the key first.
+     * @{
+     */
+    using AttrEntry = std::pair<Identifier, Attribute>;
+    using AttrList = std::vector<AttrEntry>;
+
+    bool hasAttr(Identifier key) const;
+    Attribute attr(Identifier key) const;
+    int64_t intAttrOr(Identifier key, int64_t def) const;
+    void setAttr(Identifier key, Attribute value);
+    void setIntAttr(Identifier key, int64_t v)
     {
-        attrs_[key] = Attribute::integer(v);
+        setAttr(key, Attribute::integer(v));
     }
-    void removeAttr(const std::string& key) { attrs_.erase(key); }
-    const std::map<std::string, Attribute>& attrs() const { return attrs_; }
+    void removeAttr(Identifier key);
+
+    bool hasAttr(std::string_view key) const
+    {
+        return hasAttr(Identifier::get(key));
+    }
+    Attribute attr(std::string_view key) const
+    {
+        return attr(Identifier::get(key));
+    }
+    int64_t intAttrOr(std::string_view key, int64_t def) const
+    {
+        return intAttrOr(Identifier::get(key), def);
+    }
+    void setAttr(std::string_view key, Attribute value)
+    {
+        setAttr(Identifier::get(key), std::move(value));
+    }
+    void setIntAttr(std::string_view key, int64_t v)
+    {
+        setIntAttr(Identifier::get(key), v);
+    }
+    void removeAttr(std::string_view key) { removeAttr(Identifier::get(key)); }
+
+    /** Attribute entries sorted by interned key id (not lexicographic). */
+    const AttrList& attrs() const { return attrs_; }
     /** @} */
 
     /** @name Regions. @{ */
@@ -243,7 +309,11 @@ class Operation {
     /** Operation owning the block this op lives in (nullptr at top level). */
     Operation* parentOp() const;
     /** Walk up parentOp links until an op named @p name (or null). */
-    Operation* parentOfName(const std::string& name) const;
+    Operation* parentOfName(Identifier name) const;
+    Operation* parentOfName(std::string_view name) const
+    {
+        return parentOfName(Identifier::get(name));
+    }
     bool isAncestorOf(const Operation* other) const;
     /** True if this op appears before @p other in the same block. */
     bool isBeforeInBlock(const Operation* other) const;
@@ -264,26 +334,41 @@ class Operation {
      */
     Operation* clone(ValueMapping& mapping) const;
 
-    /** Visit this op and all nested ops in the requested order. */
-    void walk(const std::function<void(Operation*)>& fn,
+    /**
+     * Visit this op and all nested ops in the requested order, iterating
+     * blocks in place (no per-block snapshot allocation). The callback may
+     * mutate attributes freely and may erase the *visited* op itself under
+     * kPostOrder (the next sibling is latched before the visit); it must
+     * not add, move or erase *other* ops in blocks still being walked —
+     * use walkSafe for such structural rewrites.
+     */
+    void walk(FunctionRef<void(Operation*)> fn,
               WalkOrder order = WalkOrder::kPostOrder);
+    /**
+     * Snapshotting walk for mutating passes: each block's op list is
+     * copied before visiting, so the callback may freely erase or move
+     * operations of the walked blocks (ops inserted mid-walk are not
+     * visited). Costs one heap allocation per non-empty block.
+     */
+    void walkSafe(FunctionRef<void(Operation*)> fn,
+                  WalkOrder order = WalkOrder::kPostOrder);
     /** Collect nested ops (excluding this op) matching @p filter. */
     std::vector<Operation*>
-    collect(const std::function<bool(Operation*)>& filter) const;
+    collect(FunctionRef<bool(Operation*)> filter) const;
 
   private:
     friend class Block;
     friend class OpBuilder;
 
-    explicit Operation(std::string name) : name_(std::move(name)) {}
+    explicit Operation(Identifier name) : nameId_(name) {}
 
     void addUse(Value* value, unsigned operand_index);
     void removeUse(Value* value, unsigned operand_index);
 
-    std::string name_;
+    Identifier nameId_;
     std::vector<Value*> operands_;
     std::vector<std::unique_ptr<Value>> results_;
-    std::map<std::string, Attribute> attrs_;
+    AttrList attrs_;
     std::vector<std::unique_ptr<Region>> regions_;
 
     Block* block_ = nullptr;
@@ -311,7 +396,8 @@ class OpWrapper {
 /**
  * dyn_cast-style helpers for OpWrapper subclasses. An op class either
  * defines a static `matches(const Operation*)` predicate (multi-name ops)
- * or a `kOpName` constant.
+ * or a `kOpName` constant, whose interned id is cached per OpT so the
+ * check is a single integer compare — no string comparison.
  */
 template <typename OpT>
 bool
@@ -322,7 +408,7 @@ isa(const Operation* op)
     if constexpr (requires { OpT::matches(op); })
         return OpT::matches(op);
     else
-        return op->name() == OpT::kOpName;
+        return op->nameId() == opNameId<OpT>();
 }
 
 template <typename OpT>

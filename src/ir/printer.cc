@@ -1,7 +1,10 @@
 #include "src/ir/printer.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/ir/operation.h"
 
@@ -79,15 +82,23 @@ Printer::print(const Operation* op, int indent)
     }
     os_ << ")";
 
-    // Attributes.
+    // Attributes. Storage is sorted by intern id; print lexicographically
+    // so output is stable across intern orders (and matches the historical
+    // std::map-keyed format).
     if (!op->attrs().empty()) {
+        std::vector<std::pair<std::string_view, const Attribute*>> entries;
+        entries.reserve(op->attrs().size());
+        for (const auto& [key, value] : op->attrs())
+            entries.emplace_back(key.str(), &value);
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
         os_ << " {";
         bool first = true;
-        for (const auto& [key, value] : op->attrs()) {
+        for (const auto& [key, value] : entries) {
             if (!first)
                 os_ << ", ";
             first = false;
-            os_ << key << " = " << value.str();
+            os_ << key << " = " << value->str();
         }
         os_ << "}";
     }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/support/diagnostics.h"
+#include "src/support/utils.h"
 
 namespace hida {
 
@@ -180,6 +181,35 @@ Type::toMemRef(MemorySpace space) const
 {
     HIDA_ASSERT(isTensor(), "toMemRef requires a tensor");
     return memref(shape(), elementType(), space);
+}
+
+namespace {
+
+uint64_t
+storageHash(const TypeStorage* s)
+{
+    if (s == nullptr)
+        return 0;
+    if (s->hashCache != 0)
+        return s->hashCache;
+    uint64_t h = hashMix(static_cast<uint64_t>(s->kind) + 1);
+    h = hashCombine(h, s->width);
+    h = hashCombine(h, s->isSigned ? 1 : 0);
+    for (int64_t d : s->shape)
+        h = hashCombine(h, static_cast<uint64_t>(d));
+    h = hashCombine(h, static_cast<uint64_t>(s->depth));
+    h = hashCombine(h, static_cast<uint64_t>(s->space));
+    h = hashCombine(h, storageHash(s->element.get()));
+    s->hashCache = h == 0 ? 1 : h;  // reserve 0 for "not computed"
+    return s->hashCache;
+}
+
+} // namespace
+
+uint64_t
+Type::hash() const
+{
+    return storageHash(impl_.get());
 }
 
 std::string

@@ -43,6 +43,8 @@ struct TypeStorage {
     std::shared_ptr<const TypeStorage> element;  ///< For tensor/memref/stream.
     int64_t depth = 0;                 ///< Stream depth (number of entries).
     MemorySpace space = MemorySpace::kDefault;   ///< For memref.
+    /** Lazily computed structural hash (0 = not yet computed). */
+    mutable uint64_t hashCache = 0;
 };
 
 /**
@@ -104,6 +106,12 @@ class Type {
     Type withMemorySpace(MemorySpace space) const;
     /** Rebuild this tensor type as a memref (Functional -> Structural). */
     Type toMemRef(MemorySpace space = MemorySpace::kDefault) const;
+
+    /**
+     * Structural 64-bit hash: equal types hash equally regardless of the
+     * backing storage object. Feeds the QoR directive fingerprint.
+     */
+    uint64_t hash() const;
 
     /** Render as text, e.g. "memref<64x64xi8, external>". */
     std::string str() const;

@@ -1,0 +1,58 @@
+#ifndef HIDA_SUPPORT_FUNCTION_REF_H
+#define HIDA_SUPPORT_FUNCTION_REF_H
+
+/**
+ * @file
+ * FunctionRef: a non-owning, trivially-copyable reference to a callable,
+ * in the spirit of llvm::function_ref. Unlike std::function it never
+ * allocates and never copies the callee, which keeps IR traversal
+ * (Operation::walk) allocation-free. The referenced callable must outlive
+ * the FunctionRef — pass lambdas directly at call sites, do not store.
+ */
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace hida {
+
+template <typename Fn>
+class FunctionRef;
+
+template <typename Ret, typename... Params>
+class FunctionRef<Ret(Params...)> {
+  public:
+    FunctionRef() = default;
+
+    template <typename Callable,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cvref_t<Callable>, FunctionRef>>>
+    FunctionRef(Callable&& callable)
+        : callback_(callbackFn<std::remove_reference_t<Callable>>),
+          callable_(reinterpret_cast<intptr_t>(&callable))
+    {}
+
+    Ret
+    operator()(Params... params) const
+    {
+        return callback_(callable_, std::forward<Params>(params)...);
+    }
+
+    explicit operator bool() const { return callback_ != nullptr; }
+
+  private:
+    template <typename Callable>
+    static Ret
+    callbackFn(intptr_t callable, Params... params)
+    {
+        return (*reinterpret_cast<Callable*>(callable))(
+            std::forward<Params>(params)...);
+    }
+
+    Ret (*callback_)(intptr_t, Params...) = nullptr;
+    intptr_t callable_ = 0;
+};
+
+} // namespace hida
+
+#endif // HIDA_SUPPORT_FUNCTION_REF_H

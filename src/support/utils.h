@@ -14,6 +14,24 @@
 
 namespace hida {
 
+/** splitmix64 finalizer: strong 64-bit integer mixing. */
+inline uint64_t
+hashMix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Order-sensitive combination of a running hash with one more value. */
+inline uint64_t
+hashCombine(uint64_t seed, uint64_t value)
+{
+    return hashMix(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                           (seed >> 2)));
+}
+
 /** Ceiling division for non-negative integers. */
 inline int64_t
 ceilDiv(int64_t a, int64_t b)

@@ -34,8 +34,7 @@ class ArrayPartitionPass : public Pass {
         module.op()->walk([&](Operation* op) {
             Value* memref = nullptr;
             std::vector<Value*> indices;
-            if (op->name() == LoadOp::kOpName ||
-                op->name() == "affine.load_padded") {
+            if (isAffineLoad(op)) {
                 LoadOp load(op);
                 memref = load.memref();
                 for (unsigned i = 0; i < load.numIndices(); ++i)
@@ -84,7 +83,7 @@ class ArrayPartitionPass : public Pass {
             // with the unroll factors that derived it.
             int64_t vector = largestDivisorUpTo(factors.back(), 8);
             factors.back() /= vector;
-            buffer.op()->setIntAttr("vector_factor", vector);
+            buffer.op()->setIntAttr(BufferOp::vectorFactorId(), vector);
             std::vector<int64_t> fashions(factors.size());
             for (size_t d = 0; d < factors.size(); ++d)
                 fashions[d] = factors[d] > 1

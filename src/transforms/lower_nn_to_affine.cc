@@ -222,8 +222,9 @@ NnCodeGen::run()
         op->erase();
     }
 
-    // Drop nn.weight ops (now represented by memref.weight).
-    func_.op()->walk([&](Operation* op) {
+    // Drop nn.weight ops (now represented by memref.weight). walkSafe:
+    // this callback erases ops out of the blocks being traversed.
+    func_.op()->walkSafe([&](Operation* op) {
         if (isa<NnWeightOp>(op) && !op->hasAnyResultUses())
             op->erase();
     });
