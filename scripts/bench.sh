@@ -16,7 +16,14 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 cd "$REPO_ROOT"
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+# Honor a compiler launcher (CI sets CMAKE_CXX_COMPILER_LAUNCHER=ccache so
+# matrix rebuilds are warm); plain local runs are unaffected.
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER")
+fi
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target bench_fig1_lenet_dse bench_compile_time
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Bench-regression gate for the tracked DSE metric.
+#
+# Compares a freshly produced BENCH_dse.json (scripts/bench.sh output)
+# against a baseline and fails when either
+#   - points_per_sec dropped by more than MAX_SLOWDOWN_PCT (default 20%), or
+#   - output_sha256 drifted (the sweep's Pareto/Table-2 output changed —
+#     a perf "win" that changes results is a correctness bug, not a win).
+#
+# Usage:
+#   scripts/check_bench_regression.sh [baseline.json] [fresh.json]
+#   scripts/check_bench_regression.sh --self-test
+#
+# Defaults: baseline = BENCH_dse.json as checked in at HEAD (so it works
+# after bench.sh overwrote the working-tree copy), fresh = ./BENCH_dse.json.
+# CI runs this right after scripts/bench.sh; it is equally callable locally.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+MAX_SLOWDOWN_PCT="${MAX_SLOWDOWN_PCT:-20}"
+
+# Extract a scalar field from the flat one-key-per-line JSON bench.sh emits
+# (no jq dependency: the gate must run on bare runners and dev machines).
+json_field() {
+    local file="$1" key="$2" value
+    value=$(sed -n 's/.*"'"$key"'": *"\{0,1\}\([^",}]*\)"\{0,1\}.*/\1/p' \
+        "$file" | head -n 1)
+    if [[ -z "$value" ]]; then
+        echo "error: field '$key' not found in $file" >&2
+        return 1
+    fi
+    printf '%s\n' "$value"
+}
+
+compare() {
+    local baseline="$1" fresh="$2"
+    local base_pps fresh_pps base_sha fresh_sha
+    base_pps=$(json_field "$baseline" points_per_sec)
+    fresh_pps=$(json_field "$fresh" points_per_sec)
+    base_sha=$(json_field "$baseline" output_sha256)
+    fresh_sha=$(json_field "$fresh" output_sha256)
+
+    local status=0
+    if [[ "$base_sha" != "$fresh_sha" ]]; then
+        echo "FAIL: output_sha256 drifted ($base_sha -> $fresh_sha):" \
+             "the DSE sweep no longer produces identical results" >&2
+        status=1
+    fi
+
+    # fresh must retain at least (100 - MAX_SLOWDOWN_PCT)% of baseline pps.
+    local ok
+    ok=$(awk "BEGIN { print ($fresh_pps * 100 >= \
+        $base_pps * (100 - $MAX_SLOWDOWN_PCT)) ? 1 : 0 }")
+    local change
+    change=$(awk "BEGIN { printf \"%+.1f\", \
+        ($fresh_pps - $base_pps) * 100 / $base_pps }")
+    if [[ "$ok" != 1 ]]; then
+        echo "FAIL: points_per_sec regressed ${change}%" \
+             "($base_pps -> $fresh_pps, gate: -${MAX_SLOWDOWN_PCT}%)" >&2
+        status=1
+    else
+        echo "points_per_sec ${change}% ($base_pps -> $fresh_pps)," \
+             "within the -${MAX_SLOWDOWN_PCT}% gate"
+    fi
+    if [[ $status -eq 0 ]]; then
+        echo "OK: output_sha256 identical, no perf regression"
+    fi
+    return $status
+}
+
+self_test() {
+    local dir pass=0
+    dir=$(mktemp -d)
+    trap 'rm -rf "$dir"' RETURN
+    cat > "$dir/base.json" <<'EOF'
+{
+  "points_per_sec": 1000.0,
+  "output_sha256": "aaaa"
+}
+EOF
+    # Identical run passes.
+    sed 's/1000.0/1001.5/' "$dir/base.json" > "$dir/same.json"
+    compare "$dir/base.json" "$dir/same.json" > /dev/null ||
+        { echo "self-test: identical run should pass" >&2; pass=1; }
+    # An injected 25% slowdown must trip the 20% gate.
+    sed 's/1000.0/750.0/' "$dir/base.json" > "$dir/slow.json"
+    if compare "$dir/base.json" "$dir/slow.json" > /dev/null 2>&1; then
+        echo "self-test: 25% slowdown should fail" >&2
+        pass=1
+    fi
+    # A 10% slowdown stays within the gate.
+    sed 's/1000.0/900.0/' "$dir/base.json" > "$dir/mild.json"
+    compare "$dir/base.json" "$dir/mild.json" > /dev/null ||
+        { echo "self-test: 10% slowdown should pass" >&2; pass=1; }
+    # Output drift fails even when faster.
+    sed -e 's/1000.0/2000.0/' -e 's/aaaa/bbbb/' "$dir/base.json" \
+        > "$dir/drift.json"
+    if compare "$dir/base.json" "$dir/drift.json" > /dev/null 2>&1; then
+        echo "self-test: sha drift should fail" >&2
+        pass=1
+    fi
+    if [[ $pass -eq 0 ]]; then
+        echo "self-test: all 4 gate scenarios behave as expected"
+    fi
+    return $pass
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+    self_test
+    exit $?
+fi
+
+FRESH="${2:-$REPO_ROOT/BENCH_dse.json}"
+BASELINE="${1:-}"
+if [[ -z "$BASELINE" ]]; then
+    # Default baseline: the checked-in JSON at HEAD (bench.sh has typically
+    # already overwritten the working-tree copy with the fresh numbers).
+    BASELINE=$(mktemp)
+    trap 'rm -f "$BASELINE"' EXIT
+    git -C "$REPO_ROOT" show HEAD:BENCH_dse.json > "$BASELINE"
+fi
+
+compare "$BASELINE" "$FRESH"

@@ -58,37 +58,29 @@ QorEstimator::directiveFingerprint(Operation* root)
     // and the full directive state below is folded in so a recycled
     // address with different directives still changes the key.
     uint64_t h = hashMix(reinterpret_cast<uintptr_t>(root));
-    auto fold_attrs = [&h](const Operation* op) {
-        for (const auto& [key, value] : op->attrs()) {
-            if (key == ForOp::iiId())
-                continue;  // estimator output, not an estimation input
-            h = hashCombine(h, key.raw());
-            h = hashCombine(h, value.hash());
-        }
-    };
-    root->walk([&](Operation* op) {
-        h = hashCombine(h, op->nameId().raw());
-        h = hashCombine(h, op->numOperands());
-        fold_attrs(op);
-        for (Value* operand : op->operands()) {
-            Type type = operand->type();
-            h = hashCombine(h, type.hash());
-            // The banking/staging attributes of the buffer behind a memref
-            // operand drive the II and resource models; the buffer op may
-            // live outside this subtree (func/schedule scope), so fold it
-            // in at every access site.
-            if (type.isMemRef()) {
-                if (BufferOp buffer = resolveBuffer(operand))
-                    fold_attrs(buffer.op());
-            }
-        }
-        for (unsigned i = 0; i < op->numResults(); ++i)
-            h = hashCombine(h, op->result(i)->type().hash());
-        for (unsigned r = 0; r < op->numRegions(); ++r)
-            for (const auto& block : op->region(r).blocks())
-                for (unsigned i = 0; i < block->numArguments(); ++i)
-                    h = hashCombine(h, block->argument(i)->type().hash());
-    }, WalkOrder::kPreOrder);
+    // The subtree's own structure and directives come from the dirty-bit
+    // cached hash: a clean subtree is one O(1) read, a mutated nest
+    // re-hashes only the dirtied path from its ancestors down to the
+    // changed op (clean siblings fold their cached hashes).
+    h = hashCombine(h, root->subtreeHash());
+    // The banking/staging attributes of the buffer behind every memref
+    // operand drive the II and resource models; the buffer ops usually
+    // live outside the subtree (func/schedule scope), so fold their
+    // cached hashes in per access site. The site list itself is purely
+    // structural — cache it per root until any structural IR mutation.
+    FingerprintSites& sites = fpSites_[root];
+    if (sites.epoch != Operation::structureEpoch()) {
+        sites.memrefs.clear();
+        root->walk([&](Operation* op) {
+            for (Value* operand : op->operands())
+                if (operand->type().isMemRef())
+                    sites.memrefs.push_back(operand);
+        }, WalkOrder::kPreOrder);
+        sites.epoch = Operation::structureEpoch();
+    }
+    for (Value* memref : sites.memrefs)
+        if (BufferOp buffer = resolveBuffer(memref))
+            h = hashCombine(h, buffer.op()->subtreeHash());
     // Loops enclosing the root feed the estimate from above: their unroll
     // factors enter the port-pressure model and tile loops multiply the
     // external refetch traffic (enclosingLoops crosses node boundaries).
@@ -96,9 +88,19 @@ QorEstimator::directiveFingerprint(Operation* root)
         if (!isa<ForOp>(p))
             continue;
         h = hashCombine(h, p->nameId().raw());
-        fold_attrs(p);
+        // Same non-exempt attr fold as subtreeHash ("ii" etc. excluded).
+        h = p->foldOwnAttrs(h);
     }
     return h;
+}
+
+QorCacheStats
+QorEstimator::cacheStats() const
+{
+    QorCacheStats stats = cacheStats_;
+    stats.hashCacheHits = Operation::subtreeHashStats().cacheHits;
+    stats.hashRecomputes = Operation::subtreeHashStats().recomputes;
+    return stats;
 }
 
 BufferOp

@@ -45,10 +45,16 @@ struct DesignQor {
     }
 };
 
-/** Hit/miss counters of the per-node QoR memo cache. */
+/**
+ * Hit/miss counters of the per-node QoR memo cache, plus the reuse
+ * counters of the underlying subtree-hash cache (the latter two are
+ * process-wide, mirrored from Operation::subtreeHashStats).
+ */
 struct QorCacheStats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    uint64_t hits = 0;            ///< Memoized estimates returned.
+    uint64_t misses = 0;          ///< Estimates computed from scratch.
+    uint64_t hashCacheHits = 0;   ///< Subtree hashes served from op caches.
+    uint64_t hashRecomputes = 0;  ///< Ops re-hashed after invalidation.
 };
 
 /**
@@ -69,7 +75,13 @@ struct QorCacheStats {
  *
  * Invalidation rule: any IR state that influences an estimate must feed
  * the fingerprint — the cache is never explicitly flushed on directive
- * changes, a changed fingerprint simply misses. Cache entries are keyed
+ * changes, a changed fingerprint simply misses. The dirty-propagation
+ * corollary (enforced by the IR mutators): every mutation that changes a
+ * fingerprint input must invalidate the cached subtree hash of the
+ * mutated op and its whole ancestor chain, so fingerprints are rebuilt
+ * from cached child hashes and re-hash only the mutated path — a
+ * directive writer that bypasses the invalidating mutators would silently
+ * serve stale estimates. Cache entries are keyed
  * by (root pointer, fingerprint), so an estimator must not be reused
  * across unrelated modules whose operations could alias in memory;
  * create one estimator per design (as the driver and benches do) or call
@@ -81,13 +93,15 @@ class QorEstimator {
 
     const TargetDevice& device() const { return device_; }
 
-    /** Memo-cache hit/miss counters (estimateNode/estimateLoop). */
-    const QorCacheStats& cacheStats() const { return cacheStats_; }
+    /** Memo-cache hit/miss counters (estimateNode/estimateLoop) plus the
+     * process-wide subtree-hash reuse counters. */
+    QorCacheStats cacheStats() const;
     /** Drop all memoized estimates (e.g. when switching modules). */
     void invalidateCache()
     {
         memo_.clear();
         tileMemo_.clear();
+        fpSites_.clear();
     }
 
     /** Estimate the design rooted at @p func (body latency + resources). */
@@ -135,9 +149,23 @@ class QorEstimator {
                                const std::vector<class ForOp>& enclosing);
     Resources bufferResources(BufferOp buffer);
 
-    /** Directive fingerprint of the subtree rooted at @p root (see class
-     * comment). Allocation-free: one in-place walk, integer hashing. */
+    /**
+     * Directive fingerprint of the subtree rooted at @p root (see class
+     * comment). Built from the dirty-bit cached Operation::subtreeHash —
+     * after a DSE directive change only the mutated nest and its ancestor
+     * chain are re-hashed; every clean subtree is an O(1) cached read.
+     * The buffer-partition contributions are keyed off the cached hashes
+     * of the buffer ops feeding the subtree's memref operands, whose
+     * access-site list is itself cached per root and revalidated against
+     * Operation::structureEpoch().
+     */
     uint64_t directiveFingerprint(Operation* root);
+
+    /** Cached memref access-site list of one fingerprint root. */
+    struct FingerprintSites {
+        uint64_t epoch = ~uint64_t{0};  ///< structureEpoch at collection.
+        std::vector<Value*> memrefs;    ///< memref operands in the subtree.
+    };
 
     /** estimateNode body with the fingerprint already computed. */
     DesignQor estimateNodeWithFp(NodeOp node, uint64_t fp);
@@ -161,6 +189,8 @@ class QorEstimator {
     TargetDevice device_;
     std::unordered_map<uint64_t, MemoEntry> memo_;
     std::unordered_map<uint64_t, int64_t> tileMemo_;
+    /** Per-root memref site lists (same root-aliasing caveat as memo_). */
+    std::unordered_map<Operation*, FingerprintSites> fpSites_;
     /** Stack of in-flight memo entries collecting ii writes. */
     std::vector<std::vector<std::pair<Operation*, int64_t>>*> iiRecorders_;
     QorCacheStats cacheStats_;

@@ -111,6 +111,12 @@ Attribute::operator==(const Attribute& other) const
     const auto& b = *other.impl_;
     if (a.kind != b.kind)
         return false;
+    // Structurally equal attributes hash equally, so two already-computed
+    // hashes that differ prove inequality without a deep compare (the
+    // common case in Operation::setAttr's changed-value check on the DSE
+    // hot path, where array attrs would otherwise compare element-wise).
+    if (a.hashCache != 0 && b.hashCache != 0 && a.hashCache != b.hashCache)
+        return false;
     switch (a.kind) {
       case AttrKind::kUnit:
         return true;
@@ -207,7 +213,10 @@ Attribute::hash() const
         h = hashCombine(h, static_cast<uint64_t>(s.intValue));
         break;
       case AttrKind::kFloat:
-        h = hashCombine(h, std::bit_cast<uint64_t>(s.floatValue));
+        // Normalize -0.0 to +0.0: operator== treats them as equal, so the
+        // hash must too (the == fast path refutes on unequal hashes).
+        h = hashCombine(h, std::bit_cast<uint64_t>(
+                               s.floatValue == 0.0 ? 0.0 : s.floatValue));
         break;
       case AttrKind::kString:
         h = hashCombine(h, std::hash<std::string>{}(s.stringValue));
@@ -223,7 +232,7 @@ Attribute::hash() const
         for (int64_t p : s.mapValue.permutation)
             h = hashCombine(h, static_cast<uint64_t>(p));
         for (double f : s.mapValue.scaling)
-            h = hashCombine(h, std::bit_cast<uint64_t>(f));
+            h = hashCombine(h, std::bit_cast<uint64_t>(f == 0.0 ? 0.0 : f));
         break;
     }
     s.hashCache = h == 0 ? 1 : h;  // reserve 0 for "not computed"

@@ -74,6 +74,7 @@ class Attribute {
     static Attribute affineMap(SemiAffineMap map);
 
     explicit operator bool() const { return impl_ != nullptr; }
+    /** Structural equality; uses cached hashes to refute fast. */
     bool operator==(const Attribute& other) const;
     bool operator!=(const Attribute& other) const { return !(*this == other); }
 

@@ -64,7 +64,11 @@ class OpBuilder {
                       const std::vector<Type>& result_types = {},
                       unsigned num_regions = 0);
 
-    /** Insert a previously created/cloned detached operation. */
+    /**
+     * Insert a previously created/cloned detached operation. Dirties the
+     * cached subtree fingerprints of the enclosing ancestor chain (see
+     * Operation::subtreeHash).
+     */
     Operation* insert(Operation* op);
 
   private:

@@ -3,12 +3,50 @@
 #include <algorithm>
 
 #include "src/support/diagnostics.h"
+#include "src/support/utils.h"
 
 namespace hida {
+
+namespace {
+
+/** Global structure epoch (single-threaded IR kernel, like the interner). */
+uint64_t g_structure_epoch = 0;
+
+/** Process-wide subtree-hash reuse counters. */
+SubtreeHashStats g_subtree_hash_stats;
+
+/** Attribute keys excluded from subtree hashing (append-only). */
+std::vector<Identifier>&
+hashExemptKeys()
+{
+    // Pre-seeded with "ii": the estimator writes it back as an output.
+    static std::vector<Identifier> keys = {Identifier::get("ii")};
+    return keys;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Value
 //===----------------------------------------------------------------------===//
+
+void
+Value::setType(Type type)
+{
+    if (type_ == type)
+        return;
+    type_ = type;
+    // The type feeds the hash of the owning op (result/block-arg types)
+    // and of every user (operand types).
+    Operation* owner =
+        definingOp_ ? definingOp_ : (ownerBlock_ ? ownerBlock_->parentOp()
+                                                 : nullptr);
+    if (owner != nullptr)
+        owner->invalidateSubtreeHash();
+    for (const auto& [op, idx] : uses_)
+        op->invalidateSubtreeHash();
+    Operation::bumpStructureEpoch();
+}
 
 std::vector<Operation*>
 Value::users() const
@@ -65,6 +103,9 @@ Block*
 Region::addBlock()
 {
     blocks_.push_back(std::make_unique<Block>(this));
+    if (parentOp_ != nullptr)
+        parentOp_->invalidateSubtreeHash();
+    Operation::bumpStructureEpoch();
     return blocks_.back().get();
 }
 
@@ -92,6 +133,9 @@ Block::addArgument(Type type, std::string name_hint)
     args_.push_back(std::unique_ptr<Value>(
         new Value(type, nullptr, this, static_cast<unsigned>(args_.size()))));
     args_.back()->setNameHint(std::move(name_hint));
+    if (Operation* parent = parentOp())
+        parent->invalidateSubtreeHash();
+    Operation::bumpStructureEpoch();
     return args_.back().get();
 }
 
@@ -113,6 +157,9 @@ Block::eraseArgument(unsigned i)
     args_.erase(args_.begin() + i);
     for (unsigned j = i; j < args_.size(); ++j)
         args_[j]->index_ = j;
+    if (Operation* parent = parentOp())
+        parent->invalidateSubtreeHash();
+    Operation::bumpStructureEpoch();
 }
 
 std::vector<Operation*>
@@ -180,6 +227,8 @@ Operation::setOperand(unsigned i, Value* value)
     removeUse(operands_[i], i);
     operands_[i] = value;
     addUse(value, i);
+    invalidateSubtreeHash();
+    bumpStructureEpoch();
 }
 
 void
@@ -188,6 +237,8 @@ Operation::appendOperand(Value* value)
     HIDA_ASSERT(value != nullptr, "null operand on ", name());
     operands_.push_back(value);
     addUse(value, static_cast<unsigned>(operands_.size() - 1));
+    invalidateSubtreeHash();
+    bumpStructureEpoch();
 }
 
 void
@@ -203,6 +254,8 @@ Operation::eraseOperand(unsigned i)
         }
     }
     operands_.erase(operands_.begin() + i);
+    invalidateSubtreeHash();
+    bumpStructureEpoch();
 }
 
 void
@@ -260,7 +313,116 @@ Region*
 Operation::addRegion()
 {
     regions_.push_back(std::make_unique<Region>(this));
+    invalidateSubtreeHash();
+    bumpStructureEpoch();
     return regions_.back().get();
+}
+
+//===----------------------------------------------------------------------===//
+// Subtree fingerprint cache
+//===----------------------------------------------------------------------===//
+
+uint64_t
+Operation::subtreeHash() const
+{
+    if (subtreeHashValid_) {
+        ++g_subtree_hash_stats.cacheHits;
+        return subtreeHash_;
+    }
+    ++g_subtree_hash_stats.recomputes;
+    uint64_t h = hashMix(nameId_.raw());
+    h = hashCombine(h, operands_.size());
+    for (Value* operand : operands_)
+        h = hashCombine(h, operand->type().hash());
+    h = foldOwnAttrs(h);
+    for (const auto& r : results_)
+        h = hashCombine(h, r->type().hash());
+    for (const auto& region : regions_) {
+        h = hashCombine(h, region->numBlocks());
+        for (const auto& block : region->blocks()) {
+            h = hashCombine(h, block->numArguments());
+            for (unsigned i = 0; i < block->numArguments(); ++i)
+                h = hashCombine(h, block->argument(i)->type().hash());
+            // Children fold their *cached* hashes: after a directive
+            // change only the dirtied path is recomputed.
+            for (const auto& op : block->ops_)
+                h = hashCombine(h, op->subtreeHash());
+        }
+    }
+    subtreeHash_ = h;
+    subtreeHashValid_ = true;
+    return h;
+}
+
+uint64_t
+Operation::foldOwnAttrs(uint64_t h) const
+{
+    for (const auto& [key, value] : attrs_) {
+        if (isAttrHashExempt(key))
+            continue;
+        h = hashCombine(h, key.raw());
+        h = hashCombine(h, value.hash());
+    }
+    return h;
+}
+
+void
+Operation::invalidateSubtreeHash()
+{
+    // Invariant: an attached dirty op always has a dirty ancestor chain
+    // (every valid->dirty transition propagates up, and freshly inserted
+    // ops dirty their chain on attach), so the walk can stop at the first
+    // already-dirty ancestor.
+    Operation* op = this;
+    while (op != nullptr && op->subtreeHashValid_) {
+        op->subtreeHashValid_ = false;
+        op = op->parentOp();
+    }
+}
+
+void
+Operation::dirtyAncestors(Block* block)
+{
+    if (Operation* parent = block != nullptr ? block->parentOp() : nullptr)
+        parent->invalidateSubtreeHash();
+}
+
+bool
+Operation::isAttrHashExempt(Identifier key)
+{
+    const auto& keys = hashExemptKeys();
+    return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+void
+Operation::addAttrHashExempt(Identifier key)
+{
+    if (!isAttrHashExempt(key))
+        hashExemptKeys().push_back(key);
+}
+
+uint64_t
+Operation::structureEpoch()
+{
+    return g_structure_epoch;
+}
+
+void
+Operation::bumpStructureEpoch()
+{
+    ++g_structure_epoch;
+}
+
+const SubtreeHashStats&
+Operation::subtreeHashStats()
+{
+    return g_subtree_hash_stats;
+}
+
+void
+Operation::resetSubtreeHashStats()
+{
+    g_subtree_hash_stats = SubtreeHashStats();
 }
 
 namespace {
@@ -310,18 +472,23 @@ Operation::setAttr(Identifier key, Attribute value)
         if (it->second == value)
             return;
         attrs_[it - attrs_.begin()].second = std::move(value);
-        return;
+    } else {
+        attrs_.insert(attrs_.begin() + (it - attrs_.begin()),
+                      AttrEntry(key, std::move(value)));
     }
-    attrs_.insert(attrs_.begin() + (it - attrs_.begin()),
-                  AttrEntry(key, std::move(value)));
+    if (!isAttrHashExempt(key))
+        invalidateSubtreeHash();
 }
 
 void
 Operation::removeAttr(Identifier key)
 {
     auto it = attrLowerBound(attrs_, key);
-    if (it != attrs_.end() && it->first == key)
-        attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
+    if (it == attrs_.end() || it->first != key)
+        return;
+    attrs_.erase(attrs_.begin() + (it - attrs_.begin()));
+    if (!isAttrHashExempt(key))
+        invalidateSubtreeHash();
 }
 
 Block*
@@ -393,9 +560,14 @@ Operation::moveBefore(Operation* other)
 {
     HIDA_ASSERT(block_ != nullptr && other->block_ != nullptr,
                 "moveBefore requires attached ops");
+    // The moved subtree itself is unchanged (its cached hash survives);
+    // both the old and the new parent chain lose a/gain a child.
     Block* dest = other->block_;
+    dirtyAncestors(block_);
     dest->ops_.splice(other->selfIt_, block_->ops_, selfIt_);
     block_ = dest;
+    dirtyAncestors(dest);
+    bumpStructureEpoch();
 }
 
 void
@@ -404,24 +576,33 @@ Operation::moveAfter(Operation* other)
     HIDA_ASSERT(block_ != nullptr && other->block_ != nullptr,
                 "moveAfter requires attached ops");
     Block* dest = other->block_;
+    dirtyAncestors(block_);
     dest->ops_.splice(std::next(other->selfIt_), block_->ops_, selfIt_);
     block_ = dest;
+    dirtyAncestors(dest);
+    bumpStructureEpoch();
 }
 
 void
 Operation::moveToEnd(Block* block)
 {
     HIDA_ASSERT(block_ != nullptr, "detached op");
+    dirtyAncestors(block_);
     block->ops_.splice(block->ops_.end(), block_->ops_, selfIt_);
     block_ = block;
+    dirtyAncestors(block);
+    bumpStructureEpoch();
 }
 
 void
 Operation::moveToFront(Block* block)
 {
     HIDA_ASSERT(block_ != nullptr, "detached op");
+    dirtyAncestors(block_);
     block->ops_.splice(block->ops_.begin(), block_->ops_, selfIt_);
     block_ = block;
+    dirtyAncestors(block);
+    bumpStructureEpoch();
 }
 
 void
@@ -433,6 +614,8 @@ Operation::erase()
         eraseOperand(numOperands() - 1);
     Block* block = block_;
     block_ = nullptr;
+    dirtyAncestors(block);
+    bumpStructureEpoch();
     block->ops_.erase(selfIt_); // deletes this
 }
 

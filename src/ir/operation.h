@@ -32,6 +32,16 @@ class Operation;
 class Region;
 
 /**
+ * Process-wide counters of the per-operation subtree-fingerprint cache
+ * (see Operation::subtreeHash): how often a cached hash was reused versus
+ * how many operations had to be re-hashed after an invalidation.
+ */
+struct SubtreeHashStats {
+    uint64_t cacheHits = 0;   ///< subtreeHash() calls served from the cache.
+    uint64_t recomputes = 0;  ///< Operations whose hash was (re)computed.
+};
+
+/**
  * An SSA value: either the result of an Operation or a Block argument.
  * Values are owned by their defining operation/block; client code holds
  * non-owning Value* handles.
@@ -39,7 +49,11 @@ class Region;
 class Value {
   public:
     Type type() const { return type_; }
-    void setType(Type type) { type_ = type; }
+    /**
+     * Retype the value. Invalidates the cached subtree fingerprints of the
+     * owning operation and of every user (the type feeds their hashes).
+     */
+    void setType(Type type);
 
     /** Defining operation, or nullptr for block arguments. */
     Operation* definingOp() const { return definingOp_; }
@@ -335,6 +349,57 @@ class Operation {
     Operation* clone(ValueMapping& mapping) const;
 
     /**
+     * @name Cached subtree fingerprints.
+     * Every operation caches a structural hash of its subtree (op name,
+     * operand count and types, attributes minus the hash-exempt keys,
+     * result and block-argument types, and the cached hashes of nested
+     * ops). Mutating accessors (setAttr/removeAttr, operand edits, op
+     * insert/move/erase, block/region growth, Value::setType) mark the
+     * mutated op and its ancestor chain dirty, so re-hashing after a
+     * directive change touches only the dirtied path while clean siblings
+     * return their cached hash in O(1). The QoR estimator's directive
+     * fingerprints are built from these hashes.
+     * @{
+     */
+
+    /** Subtree hash, recomputing only dirtied operations. */
+    uint64_t subtreeHash() const;
+    /**
+     * Fold this op's non-exempt attributes into @p h (the shared attr
+     * contribution of subtreeHash and of the estimator's enclosing-loop
+     * directive folding — one definition so the two can never diverge).
+     */
+    uint64_t foldOwnAttrs(uint64_t h) const;
+    /** True when subtreeHash() would be served from the cache. */
+    bool subtreeHashCached() const { return subtreeHashValid_; }
+    /** Mark this op and its ancestor chain dirty (idempotent). */
+    void invalidateSubtreeHash();
+
+    /**
+     * Keys excluded from subtree hashing whose writes do not dirty the
+     * cache. Pre-seeded with "ii", the initiation interval the estimator
+     * itself writes back (an estimation output, not an input — hashing it
+     * would make every estimate invalidate the fingerprints it was keyed
+     * on). Registration is append-only and process-wide.
+     */
+    static bool isAttrHashExempt(Identifier key);
+    static void addAttrHashExempt(Identifier key);
+
+    /**
+     * Monotonic counter bumped on every *structural* mutation anywhere in
+     * the process (op insert/move/erase, operand edits, block/region/
+     * argument growth, value retyping) — attribute writes do not bump it.
+     * Lets clients cache structure-derived data (e.g. the estimator's
+     * memref access-site lists) and revalidate with one compare.
+     */
+    static uint64_t structureEpoch();
+
+    /** Process-wide hash-cache reuse counters (see SubtreeHashStats). */
+    static const SubtreeHashStats& subtreeHashStats();
+    static void resetSubtreeHashStats();
+    /** @} */
+
+    /**
      * Visit this op and all nested ops in the requested order, iterating
      * blocks in place (no per-block snapshot allocation). The callback may
      * mutate attributes freely and may erase the *visited* op itself under
@@ -359,11 +424,18 @@ class Operation {
   private:
     friend class Block;
     friend class OpBuilder;
+    friend class Region;
+    friend class Value;
 
     explicit Operation(Identifier name) : nameId_(name) {}
 
     void addUse(Value* value, unsigned operand_index);
     void removeUse(Value* value, unsigned operand_index);
+
+    /** Dirty the hash cache of @p block's parent chain (not its ops). */
+    static void dirtyAncestors(Block* block);
+    /** Bump the global structure epoch (see structureEpoch). */
+    static void bumpStructureEpoch();
 
     Identifier nameId_;
     std::vector<Value*> operands_;
@@ -373,6 +445,10 @@ class Operation {
 
     Block* block_ = nullptr;
     Block::OpList::iterator selfIt_;
+
+    /** Cached subtree hash; valid only while subtreeHashValid_ holds. */
+    mutable uint64_t subtreeHash_ = 0;
+    mutable bool subtreeHashValid_ = false;
 };
 
 /**

@@ -237,13 +237,20 @@ class TaskFusionPass : public Pass {
         while (!worklist.empty()) {
             TaskOp task(worklist.front());
             worklist.pop_front();
-            if (task.op()->block() == nullptr)
-                continue; // already fused away
             TaskOp next = consumerTask(task);
             if (next && matchesFusionPattern(task, next) &&
                 canFuse(task, next)) {
+                // fuseTasks erases both inputs: purge their worklist
+                // entries before the memory is freed (a lazy dangling-
+                // pointer probe here was flagged by ASan).
+                auto stale = [&](Operation* op) {
+                    worklist.erase(
+                        std::remove(worklist.begin(), worklist.end(), op),
+                        worklist.end());
+                };
+                stale(task.op());
+                stale(next.op());
                 TaskOp fused = fuseTasks(task, next);
-                // Remove the stale entry for `next` lazily; re-queue fused.
                 worklist.push_back(fused.op());
             }
         }
