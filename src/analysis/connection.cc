@@ -160,8 +160,10 @@ analyzeConnections(const DataflowGraph& graph)
         if (src_band.empty() || tgt_band.empty())
             continue;
 
-        std::vector<DimAccess> store = accessPattern(source, edge.channel, true);
-        std::vector<DimAccess> load = accessPattern(target, edge.channel, false);
+        std::vector<DimAccess> store =
+            accessPattern(source, edge.channel, true);
+        std::vector<DimAccess> load =
+            accessPattern(target, edge.channel, false);
         if (store.empty() || load.empty() || store.size() != load.size())
             continue;
 

@@ -19,13 +19,30 @@ DataflowGraph::DataflowGraph(ScheduleOp schedule) : schedule_(schedule)
         if (isa<BufferOp>(op) || isa<StreamOp>(op))
             internal_.push_back(op->result(0));
 
+    // One pass over the node operands resolves every channel's producer
+    // and consumer lists (program order; a node appears at most once per
+    // list even when it carries the channel as several operands).
+    for (NodeOp node : nodes_) {
+        for (unsigned i = 0; i < node.op()->numOperands(); ++i) {
+            Value* channel = node.op()->operand(i);
+            if (node.writes(i)) {
+                auto& list = producers_[channel];
+                if (list.empty() || list.back().op() != node.op())
+                    list.push_back(node);
+            }
+            if (node.reads(i)) {
+                auto& list = consumers_[channel];
+                if (list.empty() || list.back().op() != node.op())
+                    list.push_back(node);
+            }
+        }
+    }
+
     // Edges: for every channel, every (writer, reader) pair where the
     // writer precedes the reader in program order.
     auto add_edges_for = [&](Value* channel) {
-        std::vector<NodeOp> producers = producersOf(channel);
-        std::vector<NodeOp> consumers = consumersOf(channel);
-        for (NodeOp producer : producers) {
-            for (NodeOp consumer : consumers) {
+        for (NodeOp producer : producers(channel)) {
+            for (NodeOp consumer : consumers(channel)) {
                 if (producer.op() == consumer.op())
                     continue;
                 if (producer.op()->isBeforeInBlock(consumer.op()))
@@ -40,30 +57,20 @@ DataflowGraph::DataflowGraph(ScheduleOp schedule) : schedule_(schedule)
         add_edges_for(channel);
 }
 
-std::vector<NodeOp>
-DataflowGraph::producersOf(Value* channel) const
+const std::vector<NodeOp>&
+DataflowGraph::producers(Value* channel) const
 {
-    std::vector<NodeOp> result;
-    for (NodeOp node : nodes_)
-        for (unsigned i = 0; i < node.op()->numOperands(); ++i)
-            if (node.op()->operand(i) == channel && node.writes(i)) {
-                result.push_back(node);
-                break;
-            }
-    return result;
+    static const std::vector<NodeOp> kEmpty;
+    auto it = producers_.find(channel);
+    return it == producers_.end() ? kEmpty : it->second;
 }
 
-std::vector<NodeOp>
-DataflowGraph::consumersOf(Value* channel) const
+const std::vector<NodeOp>&
+DataflowGraph::consumers(Value* channel) const
 {
-    std::vector<NodeOp> result;
-    for (NodeOp node : nodes_)
-        for (unsigned i = 0; i < node.op()->numOperands(); ++i)
-            if (node.op()->operand(i) == channel && node.reads(i)) {
-                result.push_back(node);
-                break;
-            }
-    return result;
+    static const std::vector<NodeOp> kEmpty;
+    auto it = consumers_.find(channel);
+    return it == consumers_.end() ? kEmpty : it->second;
 }
 
 bool

@@ -24,7 +24,17 @@ struct DataflowEdge {
     Value* channel = nullptr;       ///< The shared buffer/stream value.
 };
 
-/** Graph over the direct nodes of one hida.schedule. */
+/**
+ * Graph over the direct nodes of one hida.schedule.
+ *
+ * Construction resolves every channel's producer/consumer node lists in
+ * one pass over the node operands; the per-channel queries below are
+ * cached map lookups afterwards. The graph is plain value-semantic data
+ * (copyable and movable), so clients that survive across IR edits — the
+ * QoR estimator's per-schedule cache — can keep one around and
+ * revalidate it against Operation::structureEpoch() instead of
+ * rebuilding per query.
+ */
 class DataflowGraph {
   public:
     /** Build the graph for @p schedule (direct child nodes only). */
@@ -35,9 +45,20 @@ class DataflowGraph {
     const std::vector<DataflowEdge>& edges() const { return edges_; }
 
     /** Nodes writing @p channel, in program order. */
-    std::vector<NodeOp> producersOf(Value* channel) const;
+    std::vector<NodeOp> producersOf(Value* channel) const
+    {
+        return producers(channel);
+    }
     /** Nodes reading @p channel, in program order. */
-    std::vector<NodeOp> consumersOf(Value* channel) const;
+    std::vector<NodeOp> consumersOf(Value* channel) const
+    {
+        return consumers(channel);
+    }
+
+    /** Allocation-free producer query (cached, program order). */
+    const std::vector<NodeOp>& producers(Value* channel) const;
+    /** Allocation-free consumer query (cached, program order). */
+    const std::vector<NodeOp>& consumers(Value* channel) const;
 
     /** Buffers/streams allocated inside the schedule body. */
     std::vector<Value*> internalChannels() const { return internal_; }
@@ -69,6 +90,9 @@ class DataflowGraph {
     std::vector<DataflowEdge> edges_;
     std::vector<Value*> internal_;
     std::vector<Value*> external_;
+    /** Per-channel node lists, filled once during construction. */
+    std::map<Value*, std::vector<NodeOp>> producers_;
+    std::map<Value*, std::vector<NodeOp>> consumers_;
 };
 
 } // namespace hida

@@ -86,7 +86,10 @@ class ApplyOp : public OpWrapper {
     static ApplyOp create(OpBuilder& builder, std::vector<Value*> ivs,
                           std::vector<int64_t> coeffs, int64_t offset);
 
-    std::vector<int64_t> coeffs() const { return op_->attr("coeffs").asI64Array(); }
+    std::vector<int64_t> coeffs() const
+    {
+        return op_->attr("coeffs").asI64Array();
+    }
     int64_t offset() const { return op_->intAttrOr("offset", 0); }
 };
 
@@ -123,7 +126,7 @@ isAffineLoad(const Operation* op)
            op->nameId() == paddedLoadNameId();
 }
 
-/** Affine memory store ("affine.store"): operands = value, memref, indices... */
+/** Affine store ("affine.store"): operands = value, memref, indices... */
 class StoreOp : public OpWrapper {
   public:
     static constexpr const char* kOpName = "affine.store";
@@ -153,7 +156,10 @@ struct AffineIndexExpr {
     int64_t offset = 0;
 
     /** The single iv when the expression is `c*iv + b`, else nullptr. */
-    Value* singleIv() const { return terms.size() == 1 ? terms[0].iv : nullptr; }
+    Value* singleIv() const
+    {
+        return terms.size() == 1 ? terms[0].iv : nullptr;
+    }
     /** Coefficient of @p iv in this expression (0 when absent). */
     int64_t coeffOf(Value* iv) const;
 };

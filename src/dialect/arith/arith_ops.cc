@@ -10,7 +10,8 @@ namespace hida {
 namespace {
 
 constexpr std::array<const char*, 6> kBinaryNames = {
-    "arith.add", "arith.sub", "arith.mul", "arith.div", "arith.max", "arith.min",
+    "arith.add", "arith.sub", "arith.mul",
+    "arith.div", "arith.max", "arith.min",
 };
 
 /** Interned ids of kBinaryNames, cached once. */
@@ -102,7 +103,8 @@ scalarOpCost(Identifier op_name, Type type)
         op_name == ids[static_cast<size_t>(BinaryKind::kSub)]) {
         if (is_float)
             return {.dsp = 2, .lut = 200, .ff = 220, .latency = 5};
-        return {.dsp = 0, .lut = static_cast<int>(width), .ff = 0, .latency = 1};
+        return {.dsp = 0, .lut = static_cast<int>(width), .ff = 0,
+                .latency = 1};
     }
     if (op_name == ids[static_cast<size_t>(BinaryKind::kDiv)]) {
         if (is_float)
@@ -127,7 +129,8 @@ registerArithDialect()
     registry.registerOp(CastOp::kOpName, OpInfo{});
     for (const char* name : kBinaryNames) {
         registry.registerOp(
-            name, OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
+            name,
+            OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
                 if (op->numOperands() != 2)
                     return "binary op requires exactly two operands";
                 return std::nullopt;

@@ -37,7 +37,8 @@ class YieldOp : public OpWrapper {
     static constexpr const char* kOpName = "hida.yield";
     using OpWrapper::OpWrapper;
 
-    static YieldOp create(OpBuilder& builder, std::vector<Value*> operands = {});
+    static YieldOp create(OpBuilder& builder,
+                          std::vector<Value*> operands = {});
 };
 
 /** Launches the tasks in its transparent region ("hida.dispatch"). */
@@ -183,9 +184,21 @@ class BufferOp : public OpWrapper {
         return type().memorySpace() == MemorySpace::kExternal;
     }
 
+    /** Soft-FIFO depth written by dataflow balancing (Section 6.4.2);
+     * raises the channel capacity above the ping-pong stage count. */
+    int64_t softFifoDepth() const
+    {
+        return op_->intAttrOr(softFifoDepthId(), 1);
+    }
+    void setSoftFifoDepth(int64_t depth)
+    {
+        op_->setIntAttr(softFifoDepthId(), depth);
+    }
+
     /** @name Cached interned attribute keys (hot on the DSE path). @{ */
     // clang-format off
     static Identifier stagesId() { static const Identifier id = Identifier::get("stages"); return id; }
+    static Identifier softFifoDepthId() { static const Identifier id = Identifier::get("soft_fifo_depth"); return id; }
     static Identifier partitionFactorsId() { static const Identifier id = Identifier::get("partition_factors"); return id; }
     static Identifier partitionFashionsId() { static const Identifier id = Identifier::get("partition_fashions"); return id; }
     static Identifier tileFactorsId() { static const Identifier id = Identifier::get("tile_factors"); return id; }
@@ -228,7 +241,8 @@ class StreamWriteOp : public OpWrapper {
     static constexpr const char* kOpName = "hida.stream_write";
     using OpWrapper::OpWrapper;
 
-    static StreamWriteOp create(OpBuilder& builder, Value* value, Value* stream);
+    static StreamWriteOp create(OpBuilder& builder, Value* value,
+                                Value* stream);
 };
 
 /** External interface port ("hida.port"): kind attr "memory" or "stream". */

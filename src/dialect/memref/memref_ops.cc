@@ -44,7 +44,8 @@ registerMemRefDialect()
         OpInfo{.verify = [](Operation* op) -> std::optional<std::string> {
             if (op->numOperands() != 2)
                 return "memref.copy requires two operands";
-            if (op->operand(0)->type().shape() != op->operand(1)->type().shape())
+            if (op->operand(0)->type().shape() !=
+                op->operand(1)->type().shape())
                 return "memref.copy shape mismatch";
             return std::nullopt;
         }});

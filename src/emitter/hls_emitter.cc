@@ -219,7 +219,8 @@ Emitter::emitOp(Operation* op)
         indent();
         os_ << cType(op->result(0)->type()) << " "
             << nameOf(op->result(0), "t") << " = ";
-        if (binary.kind() == BinaryKind::kMax || binary.kind() == BinaryKind::kMin)
+        if (binary.kind() == BinaryKind::kMax ||
+            binary.kind() == BinaryKind::kMin)
             os_ << symbol << "(" << nameOf(binary.lhs()) << ", "
                 << nameOf(binary.rhs()) << ");\n";
         else

@@ -63,24 +63,37 @@ QorEstimator::directiveFingerprint(Operation* root)
     // re-hashes only the dirtied path from its ancestors down to the
     // changed op (clean siblings fold their cached hashes).
     h = hashCombine(h, root->subtreeHash());
-    // The banking/staging attributes of the buffer behind every memref
-    // operand drive the II and resource models; the buffer ops usually
-    // live outside the subtree (func/schedule scope), so fold their
-    // cached hashes in per access site. The site list itself is purely
-    // structural — cache it per root until any structural IR mutation.
+    // The banking attributes of the buffer behind every memref operand
+    // drive the II and resource models; the buffer ops usually live
+    // outside the subtree (func/schedule scope), so fold their access
+    // hashes in per access site. The fold deliberately excludes the
+    // buffer's "stages"/"soft_fifo_depth" (see bufferAccessHash): those
+    // only feed the schedule-level channel capacities, which the
+    // schedule cache re-reads on every pass. The site list itself is
+    // purely structural — cache it per root until any structural IR
+    // mutation.
     FingerprintSites& sites = fpSites_[root];
     if (sites.epoch != Operation::structureEpoch()) {
         sites.memrefs.clear();
+        sites.hasNestedSchedule = false;
         root->walk([&](Operation* op) {
+            if (op != root && isa<ScheduleOp>(op))
+                sites.hasNestedSchedule = true;
             for (Value* operand : op->operands())
                 if (operand->type().isMemRef())
                     sites.memrefs.push_back(operand);
         }, WalkOrder::kPreOrder);
         sites.epoch = Operation::structureEpoch();
     }
+    // Hierarchical subtrees embed a nested schedule's frame simulation,
+    // which reacts to channel depths — their fingerprints must see the
+    // buffers' full directive state. Leaf subtrees use the depth-free
+    // access hash so stages/soft_fifo_depth edits stay schedule-level.
     for (Value* memref : sites.memrefs)
         if (BufferOp buffer = resolveBuffer(memref))
-            h = hashCombine(h, buffer.op()->subtreeHash());
+            h = hashCombine(h, sites.hasNestedSchedule
+                                   ? buffer.op()->subtreeHash()
+                                   : bufferAccessHash(buffer.op()));
     // Loops enclosing the root feed the estimate from above: their unroll
     // factors enter the port-pressure model and tile loops multiply the
     // external refetch traffic (enclosingLoops crosses node boundaries).
@@ -91,6 +104,35 @@ QorEstimator::directiveFingerprint(Operation* root)
         // Same non-exempt attr fold as subtreeHash ("ii" etc. excluded).
         h = p->foldOwnAttrs(h);
     }
+    return h;
+}
+
+uint64_t
+QorEstimator::bufferAccessHash(Operation* buffer)
+{
+    // A node-level estimate reads the buffer's banking/layout directives
+    // (partition fashions/factors, tile factors, vector factor, memory
+    // kind) but never its frame depth: "stages" and "soft_fifo_depth"
+    // only bound the schedule-level channel capacity. Keeping them out
+    // of the node fingerprint means a depth-only edit re-simulates the
+    // schedule without invalidating a single node estimate. Memoized on
+    // the buffer's dirty-bit subtree hash, which any attribute edit
+    // invalidates, so stale access hashes are impossible.
+    uint64_t subtree = buffer->subtreeHash();
+    auto [it, inserted] = bufferHashMemo_.try_emplace(buffer);
+    if (!inserted && it->second.first == subtree)
+        return it->second.second;
+    uint64_t h = hashMix(buffer->nameId().raw());
+    h = hashCombine(h, buffer->result(0)->type().hash());
+    for (const auto& [key, value] : buffer->attrs()) {
+        if (Operation::isAttrHashExempt(key) ||
+            key == BufferOp::stagesId() ||
+            key == BufferOp::softFifoDepthId())
+            continue;
+        h = hashCombine(h, key.raw());
+        h = hashCombine(h, value.hash());
+    }
+    it->second = {subtree, h};
     return h;
 }
 
@@ -126,7 +168,8 @@ QorEstimator::resolveBuffer(Value* value)
 }
 
 int64_t
-QorEstimator::initiationInterval(Block* body, const std::vector<ForOp>& enclosing)
+QorEstimator::initiationInterval(Block* body,
+                                 const std::vector<ForOp>& enclosing)
 {
     // Collect per-buffer port pressure with alignment awareness.
     std::map<Value*, double> pressure;
@@ -605,98 +648,197 @@ QorEstimator::estimateLoop(ForOp loop)
     return qor;
 }
 
-DesignQor
-QorEstimator::estimateSchedule(ScheduleOp schedule)
+uint64_t
+QorEstimator::scheduleTopologyKey(const std::vector<Operation*>& nodes)
 {
-    DesignQor qor;
-    DataflowGraph graph(schedule);
-    std::vector<NodeOp> nodes = graph.topoOrder();
+    // The dataflow graph's wiring is almost entirely structural (covered
+    // by structureEpoch), except for the per-node "effects" attribute:
+    // an effect edit flips producer/consumer roles without any
+    // structural mutation, so it must force a skeleton rebuild.
+    uint64_t h = hashMix(nodes.size());
+    for (Operation* node : nodes) {
+        h = hashCombine(h, reinterpret_cast<uintptr_t>(node));
+        if (Attribute effects = node->attr(NodeOp::effectsId()))
+            h = hashCombine(h, effects.hash());
+    }
+    return h;
+}
 
-    // Per-node frame counts and per-frame latencies.
-    int64_t frames = 1;
-    std::vector<int64_t> per_frame;
-    for (NodeOp node : nodes) {
-        // One fingerprint per node serves both memo caches.
-        uint64_t fp = directiveFingerprint(node.op());
-        DesignQor node_qor = estimateNodeWithFp(node, fp);
-        qor.res += node_qor.res;
-        int64_t tiles = tileFramesOf(node, fp);
-        frames = std::max(frames, tiles);
-        per_frame.push_back(
-            std::max<int64_t>(1, node_qor.latencyCycles / std::max<int64_t>(
-                                     tiles, 1)));
+int64_t
+QorEstimator::channelCapacity(Value* channel, Operation* buffer_op)
+{
+    int64_t capacity = 1;
+    if (buffer_op != nullptr) {
+        BufferOp buffer(buffer_op);
+        capacity = buffer.stages();
+        capacity = std::max<int64_t>(capacity, buffer.softFifoDepth());
+    } else if (channel->type().isStream()) {
+        capacity = std::max<int64_t>(channel->type().streamDepth(), 1);
     }
-    // Non-node content (buffers, streams) contributes resources only.
-    for (Operation* op : *schedule.body()) {
-        if (auto buffer = dynCast<BufferOp>(op))
-            qor.res += bufferResources(buffer);
-    }
-    if (nodes.empty())
-        return qor;
+    return capacity;
+}
+
+void
+QorEstimator::rebuildScheduleEntry(ScheduleOp schedule,
+                                   ScheduleCacheEntry& entry)
+{
+    entry.epoch = Operation::structureEpoch();
+    DataflowGraph graph(schedule);
+
+    entry.nodes.clear();
+    for (NodeOp node : graph.topoOrder())
+        entry.nodes.push_back(node.op());
+    entry.topologyKey = scheduleTopologyKey(entry.nodes);
+    const size_t n = entry.nodes.size();
+    entry.nodeFps.assign(n, 0);
+    entry.nodeQors.assign(n, DesignQor());
+    entry.tiles.assign(n, 1);
+    entry.latencies.assign(n, 0);
+
+    // Non-node content (buffers, streams) contributes resources only;
+    // the op list is structural, the per-pass resource math is not.
+    entry.bufferOps.clear();
+    for (Operation* op : *schedule.body())
+        if (isa<BufferOp>(op))
+            entry.bufferOps.push_back(op);
 
     // Multi-producer violation => sequential execution (Section 6.4.1).
-    bool sequential = false;
     std::vector<Value*> channels = graph.internalChannels();
     auto external = graph.externalChannels();
     channels.insert(channels.end(), external.begin(), external.end());
+    entry.sequential = false;
     for (Value* channel : channels)
-        if (graph.producersOf(channel).size() > 1)
-            sequential = true;
+        if (graph.producers(channel).size() > 1)
+            entry.sequential = true;
 
-    // Build the simulation graph.
-    SimGraph sim;
-    sim.sequential = sequential;
+    // Build the simulation skeleton: channel wiring only — per-frame
+    // latencies and capacities live in the overlay vectors and are
+    // refreshed by every estimateSchedule pass.
+    entry.sim = SimGraph();
+    entry.sim.sequential = entry.sequential;
+    entry.channelValues.clear();
+    entry.channelBuffers.clear();
+    entry.capacities.clear();
     std::map<Value*, int> channel_index;
-    if (!sequential) {
+    if (!entry.sequential) {
         for (Value* channel : channels) {
-            if (graph.producersOf(channel).empty())
+            if (graph.producers(channel).empty())
                 continue;  // pure inputs impose no ordering
-            int64_t capacity = 1;
-            if (auto buffer = resolveBuffer(channel)) {
-                capacity = buffer.stages();
-                capacity = std::max<int64_t>(
-                    capacity, buffer.op()->intAttrOr("soft_fifo_depth", 1));
-            } else if (channel->type().isStream()) {
-                capacity = std::max<int64_t>(channel->type().streamDepth(), 1);
-            }
-            channel_index[channel] = static_cast<int>(sim.channels.size());
-            sim.channels.push_back({capacity});
+            BufferOp buffer = resolveBuffer(channel);
+            channel_index[channel] =
+                static_cast<int>(entry.sim.channels.size());
+            entry.channelValues.push_back(channel);
+            entry.channelBuffers.push_back(buffer.op());
+            int64_t capacity = channelCapacity(channel, buffer.op());
+            entry.capacities.push_back(capacity);
+            entry.sim.channels.push_back({capacity});
         }
     }
-    for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
+        NodeOp node(entry.nodes[i]);
         SimNode sim_node;
-        sim_node.latency = per_frame[i];
-        if (!sequential) {
-            for (unsigned oi = 0; oi < nodes[i].op()->numOperands(); ++oi) {
-                Value* channel = nodes[i].op()->operand(oi);
+        if (!entry.sequential) {
+            for (unsigned oi = 0; oi < node.op()->numOperands(); ++oi) {
+                Value* channel = node.op()->operand(oi);
                 auto it = channel_index.find(channel);
                 if (it == channel_index.end())
                     continue;
                 bool is_producer =
-                    !graph.producersOf(channel).empty() &&
-                    graph.producersOf(channel).front().op() == nodes[i].op();
-                if (is_producer && nodes[i].writes(oi))
+                    !graph.producers(channel).empty() &&
+                    graph.producers(channel).front().op() == node.op();
+                if (is_producer && node.writes(oi))
                     sim_node.outputs.push_back(it->second);
-                else if (nodes[i].reads(oi))
+                else if (node.reads(oi))
                     sim_node.inputs.push_back(it->second);
             }
         }
-        sim.nodes.push_back(sim_node);
+        entry.sim.nodes.push_back(sim_node);
+    }
+    if (!entry.sequential)
+        entry.sim.buildAdjacency();
+}
+
+DesignQor
+QorEstimator::estimateSchedule(ScheduleOp schedule)
+{
+    // unordered_map references are stable across rehashing, so `entry`
+    // survives the recursive estimateSchedule calls nested node bodies
+    // can trigger through estimateNodeWithFp.
+    ScheduleCacheEntry& entry = scheduleCache_[schedule.op()];
+    bool structural = entry.epoch != Operation::structureEpoch();
+    if (!structural)
+        structural = scheduleTopologyKey(entry.nodes) != entry.topologyKey;
+    if (structural) {
+        rebuildScheduleEntry(schedule, entry);
+        ++cacheStats_.scheduleBuilds;
+    } else {
+        ++cacheStats_.scheduleReuses;
     }
 
-    SimResult result = simulate(sim);
-    if (sequential) {
+    // Per-node frame counts and per-frame latencies: only nodes whose
+    // directive fingerprint moved since the cached pass are re-estimated
+    // (and those usually hit the global per-node memo anyway).
+    DesignQor qor;
+    int64_t frames = 1;
+    bool latency_changed = false;
+    for (size_t i = 0; i < entry.nodes.size(); ++i) {
+        NodeOp node(entry.nodes[i]);
+        // One fingerprint per node serves both memo caches.
+        uint64_t fp = directiveFingerprint(node.op());
+        if (structural || fp != entry.nodeFps[i]) {
+            entry.nodeFps[i] = fp;
+            entry.nodeQors[i] = estimateNodeWithFp(node, fp);
+            entry.tiles[i] = tileFramesOf(node, fp);
+        }
+        qor.res += entry.nodeQors[i].res;
+        frames = std::max(frames, entry.tiles[i]);
+        int64_t per_frame = std::max<int64_t>(
+            1, entry.nodeQors[i].latencyCycles /
+                   std::max<int64_t>(entry.tiles[i], 1));
+        if (per_frame != entry.latencies[i]) {
+            entry.latencies[i] = per_frame;
+            latency_changed = true;
+        }
+    }
+    // Buffer resources are cheap pure attribute math — recompute every
+    // pass so stages/partition edits are always reflected.
+    for (Operation* op : entry.bufferOps)
+        qor.res += bufferResources(BufferOp(op));
+    if (entry.nodes.empty())
+        return qor;
+
+    if (entry.sequential) {
         int64_t total = 0;
-        for (int64_t l : per_frame)
+        for (int64_t l : entry.latencies)
             total += l;
         qor.latencyCycles = total * frames;
         qor.intervalCycles = static_cast<double>(qor.latencyCycles);
         return qor;
     }
+
+    // Channel capacities change on stages/soft_fifo_depth edits, which
+    // never touch a node fingerprint — re-read them every pass.
+    bool capacity_changed = false;
+    for (size_t c = 0; c < entry.channelValues.size(); ++c) {
+        int64_t capacity = channelCapacity(entry.channelValues[c],
+                                           entry.channelBuffers[c]);
+        if (capacity != entry.capacities[c]) {
+            entry.capacities[c] = capacity;
+            capacity_changed = true;
+        }
+    }
+
+    if (structural || latency_changed || capacity_changed) {
+        entry.simResult =
+            simulate(entry.sim, entry.latencies, entry.capacities);
+        ++cacheStats_.simRuns;
+    } else {
+        ++cacheStats_.simSkips;
+    }
     qor.latencyCycles =
-        result.frameLatency +
-        static_cast<int64_t>((frames - 1) * result.steadyInterval);
-    qor.intervalCycles = frames * result.steadyInterval;
+        entry.simResult.frameLatency +
+        static_cast<int64_t>((frames - 1) * entry.simResult.steadyInterval);
+    qor.intervalCycles = frames * entry.simResult.steadyInterval;
     return qor;
 }
 

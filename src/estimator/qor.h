@@ -26,6 +26,7 @@
 #include "src/dialect/hida/hida_ops.h"
 #include "src/estimator/device.h"
 #include "src/ir/builtin_ops.h"
+#include "src/sim/dataflow_sim.h"
 
 namespace hida {
 
@@ -46,15 +47,20 @@ struct DesignQor {
 };
 
 /**
- * Hit/miss counters of the per-node QoR memo cache, plus the reuse
- * counters of the underlying subtree-hash cache (the latter two are
- * process-wide, mirrored from Operation::subtreeHashStats).
+ * Hit/miss counters of the per-node QoR memo cache, the schedule-level
+ * graph/simulation cache, plus the reuse counters of the underlying
+ * subtree-hash cache (the latter two are process-wide, mirrored from
+ * Operation::subtreeHashStats).
  */
 struct QorCacheStats {
     uint64_t hits = 0;            ///< Memoized estimates returned.
     uint64_t misses = 0;          ///< Estimates computed from scratch.
     uint64_t hashCacheHits = 0;   ///< Subtree hashes served from op caches.
     uint64_t hashRecomputes = 0;  ///< Ops re-hashed after invalidation.
+    uint64_t scheduleBuilds = 0;  ///< Schedule skeletons (re)built.
+    uint64_t scheduleReuses = 0;  ///< Warm passes reusing a cached skeleton.
+    uint64_t simRuns = 0;         ///< Dataflow simulations executed.
+    uint64_t simSkips = 0;        ///< Simulations skipped (cached SimResult).
 };
 
 /**
@@ -102,6 +108,8 @@ class QorEstimator {
         memo_.clear();
         tileMemo_.clear();
         fpSites_.clear();
+        scheduleCache_.clear();
+        bufferHashMemo_.clear();
     }
 
     /** Estimate the design rooted at @p func (body latency + resources). */
@@ -113,7 +121,14 @@ class QorEstimator {
     /** Estimate one standalone loop nest (kernels without dataflow). */
     DesignQor estimateLoop(class ForOp loop);
 
-    /** Estimate a schedule: steady-state interval across its frames. */
+    /**
+     * Estimate a schedule: steady-state interval across its frames.
+     * Memoized end to end (see ScheduleCacheEntry): structural edits
+     * rebuild the dataflow/simulation skeleton, pure directive edits
+     * re-estimate only the nodes whose fingerprint moved, and the frame
+     * simulation is skipped outright when no per-frame latency or
+     * channel capacity changed.
+     */
     DesignQor estimateSchedule(ScheduleOp schedule);
 
     /** On-chip memory (BRAM18K) of every buffer under @p root. */
@@ -165,12 +180,65 @@ class QorEstimator {
     struct FingerprintSites {
         uint64_t epoch = ~uint64_t{0};  ///< structureEpoch at collection.
         std::vector<Value*> memrefs;    ///< memref operands in the subtree.
+        /**
+         * Subtree contains a nested ScheduleOp: its estimate embeds the
+         * nested frame simulation, which depends on channel depths, so
+         * the fingerprint must fold *full* buffer hashes (stages and
+         * soft_fifo_depth included) instead of bufferAccessHash.
+         */
+        bool hasNestedSchedule = false;
     };
 
     /** estimateNode body with the fingerprint already computed. */
     DesignQor estimateNodeWithFp(NodeOp node, uint64_t fp);
     /** Memoized tile-frame count of a node (same fingerprint key). */
     int64_t tileFramesOf(NodeOp node, uint64_t fp);
+
+    /**
+     * Per-schedule estimation skeleton, cached across DSE points. The
+     * expensive structure — DataflowGraph topo order, channel lists, the
+     * multi-producer sequential verdict and the SimGraph wiring — only
+     * depends on the IR's *shape*, so it is revalidated against
+     * Operation::structureEpoch() (plus the per-node "effects"
+     * attributes, the one graph input an attribute write can change).
+     * Pure directive edits reuse the skeleton: only nodes whose
+     * fingerprint moved are re-estimated, channel capacities are
+     * re-read, and the simulation re-runs only when a per-frame latency
+     * or a capacity actually changed — otherwise the cached SimResult
+     * is returned as-is.
+     */
+    struct ScheduleCacheEntry {
+        uint64_t epoch = ~uint64_t{0};  ///< structureEpoch at (re)build.
+        uint64_t topologyKey = 0;       ///< Fold of per-node "effects".
+        bool sequential = false;        ///< Multi-producer fallback.
+        std::vector<Operation*> nodes;  ///< Topo (= program) order.
+        std::vector<uint64_t> nodeFps;  ///< Last-seen node fingerprints.
+        std::vector<DesignQor> nodeQors;
+        std::vector<int64_t> tiles;     ///< tileFramesOf per node.
+        std::vector<Operation*> bufferOps;  ///< Schedule-body buffers.
+        std::vector<Value*> channelValues;  ///< Per sim channel.
+        std::vector<Operation*> channelBuffers;  ///< Backing buffer/null.
+        SimGraph sim;                   ///< Const topology skeleton.
+        std::vector<int64_t> latencies;   ///< Per-frame latency overlay.
+        std::vector<int64_t> capacities;  ///< Channel capacity overlay.
+        SimResult simResult;            ///< simulate() of the overlays.
+    };
+
+    /** Rebuild @p entry's structural skeleton from the current IR. */
+    void rebuildScheduleEntry(ScheduleOp schedule, ScheduleCacheEntry& entry);
+    /** Fold of the cached nodes' "effects" attrs (graph revalidation). */
+    static uint64_t scheduleTopologyKey(const std::vector<Operation*>& nodes);
+    /** Frame capacity of @p channel backed by @p buffer_op (or null). */
+    static int64_t channelCapacity(Value* channel, Operation* buffer_op);
+    /**
+     * Hash of the buffer directives the *node-level* models read
+     * (partition/tile/vector/mem_kind...). Excludes "stages" and
+     * "soft_fifo_depth": those only set channel capacities, which the
+     * schedule-level cache re-reads every pass — so a depth edit
+     * re-simulates without invalidating any node estimate. Memoized on
+     * the buffer's cached subtree hash.
+     */
+    uint64_t bufferAccessHash(Operation* buffer);
 
     /**
      * A memoized estimate plus the "ii" attributes the estimation wrote
@@ -191,6 +259,11 @@ class QorEstimator {
     std::unordered_map<uint64_t, int64_t> tileMemo_;
     /** Per-root memref site lists (same root-aliasing caveat as memo_). */
     std::unordered_map<Operation*, FingerprintSites> fpSites_;
+    /** Per-schedule skeletons (same root-aliasing caveat as memo_). */
+    std::unordered_map<Operation*, ScheduleCacheEntry> scheduleCache_;
+    /** Per-buffer (subtree hash -> access hash) memo for fingerprints. */
+    std::unordered_map<Operation*, std::pair<uint64_t, uint64_t>>
+        bufferHashMemo_;
     /** Stack of in-flight memo entries collecting ii writes. */
     std::vector<std::vector<std::pair<Operation*, int64_t>>*> iiRecorders_;
     QorCacheStats cacheStats_;

@@ -18,10 +18,12 @@ std::vector<double>
 weightData(int64_t num_elements, int64_t seed)
 {
     std::vector<double> data(num_elements);
-    uint64_t state = static_cast<uint64_t>(seed) * 6364136223846793005ull + 1ull;
+    uint64_t state =
+        static_cast<uint64_t>(seed) * 6364136223846793005ull + 1ull;
     for (int64_t i = 0; i < num_elements; ++i) {
         state = state * 6364136223846793005ull + 1442695040888963407ull;
-        data[i] = static_cast<double>(static_cast<int64_t>((state >> 33) % 7) - 3);
+        data[i] = static_cast<double>(
+            static_cast<int64_t>((state >> 33) % 7) - 3);
     }
     return data;
 }
@@ -104,8 +106,10 @@ class NnExecutor {
                                         if (iy < 0 || iy >= in_s[2] ||
                                             ix < 0 || ix >= in_s[3])
                                             continue;
-                                        acc += in[flatten4(in_s, n, c, iy, ix)] *
-                                               wt[flatten4(w_s, o, c, kh, kw)];
+                                        acc +=
+                                            in[flatten4(in_s, n, c, iy,
+                                                        ix)] *
+                                            wt[flatten4(w_s, o, c, kh, kw)];
                                     }
                             out[flatten4(out_shape, n, o, y, x)] = acc;
                         }

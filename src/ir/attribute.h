@@ -39,7 +39,7 @@ struct SemiAffineMap {
     /** Marker for an unmapped dimension (the paper's "empty" entry). */
     static constexpr int64_t kEmpty = -1;
 
-    std::vector<int64_t> permutation;  ///< Source dim per result dim, or kEmpty.
+    std::vector<int64_t> permutation;  ///< Source dim per dim, or kEmpty.
     std::vector<double> scaling;       ///< Stride scale per result dim.
 
     bool operator==(const SemiAffineMap& other) const = default;

@@ -34,7 +34,8 @@ class OpBuilder {
     class InsertionGuard {
       public:
         explicit InsertionGuard(OpBuilder& builder)
-            : builder_(builder), savedBlock_(builder.block_), savedIt_(builder.it_)
+            : builder_(builder), savedBlock_(builder.block_),
+              savedIt_(builder.it_)
         {}
         ~InsertionGuard()
         {

@@ -76,13 +76,14 @@ registerBuiltinDialect()
 {
     auto& registry = OpRegistry::instance();
     registry.registerOp(ModuleOp::kOpName, OpInfo{.isolatedFromAbove = true});
-    registry.registerOp(FuncOp::kOpName,
-                        OpInfo{.isolatedFromAbove = true,
-                               .verify = [](Operation* op) -> std::optional<std::string> {
-                                   if (!op->hasAttr("sym_name"))
-                                       return "func.func requires a sym_name attr";
-                                   return std::nullopt;
-                               }});
+    registry.registerOp(
+        FuncOp::kOpName,
+        OpInfo{.isolatedFromAbove = true,
+               .verify = [](Operation* op) -> std::optional<std::string> {
+                   if (!op->hasAttr("sym_name"))
+                       return "func.func requires a sym_name attr";
+                   return std::nullopt;
+               }});
     registry.registerOp(ReturnOp::kOpName, OpInfo{.isTerminator = true});
 }
 

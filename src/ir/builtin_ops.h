@@ -69,7 +69,8 @@ class ReturnOp : public OpWrapper {
     static constexpr const char* kOpName = "func.return";
     using OpWrapper::OpWrapper;
 
-    static ReturnOp create(OpBuilder& builder, std::vector<Value*> operands = {});
+    static ReturnOp create(OpBuilder& builder,
+                           std::vector<Value*> operands = {});
 };
 
 /** Register builtin/func op metadata. */

@@ -78,8 +78,9 @@ class Value {
      * Re-point uses for which @p should_replace(user) holds.
      * @return number of uses replaced.
      */
-    unsigned replaceUsesIf(Value* replacement,
-                           const std::function<bool(Operation*)>& should_replace);
+    unsigned
+    replaceUsesIf(Value* replacement,
+                  const std::function<bool(Operation*)>& should_replace);
 
     const std::string& nameHint() const { return nameHint_; }
     void setNameHint(std::string hint) { nameHint_ = std::move(hint); }
@@ -129,7 +130,10 @@ class Region {
     const Block& front() const;
     /** Append a fresh empty block and return it. */
     Block* addBlock();
-    const std::vector<std::unique_ptr<Block>>& blocks() const { return blocks_; }
+    const std::vector<std::unique_ptr<Block>>& blocks() const
+    {
+        return blocks_;
+    }
 
   private:
     Operation* parentOp_;

@@ -278,7 +278,8 @@ class Parser {
                             i = start;
                             break;
                         }
-                        shape.push_back(std::stoll(rest.substr(start, i - start)));
+                        shape.push_back(
+                            std::stoll(rest.substr(start, i - start)));
                     }
                     std::string elem_text = rest.substr(i);
                     if (elem_text.empty())

@@ -90,8 +90,9 @@ Printer::print(const Operation* op, int indent)
         entries.reserve(op->attrs().size());
         for (const auto& [key, value] : op->attrs())
             entries.emplace_back(key.str(), &value);
-        std::sort(entries.begin(), entries.end(),
-                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::sort(
+            entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
         os_ << " {";
         bool first = true;
         for (const auto& [key, value] : entries) {

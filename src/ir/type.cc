@@ -45,7 +45,8 @@ Type::floating(unsigned width)
 Type
 Type::tensor(std::vector<int64_t> shape, Type element)
 {
-    HIDA_ASSERT(element && !element.isShaped(), "tensor element must be scalar");
+    HIDA_ASSERT(element && !element.isShaped(),
+                "tensor element must be scalar");
     auto s = std::make_shared<TypeStorage>();
     s->kind = TypeKind::kTensor;
     s->shape = std::move(shape);
@@ -56,7 +57,8 @@ Type::tensor(std::vector<int64_t> shape, Type element)
 Type
 Type::memref(std::vector<int64_t> shape, Type element, MemorySpace space)
 {
-    HIDA_ASSERT(element && !element.isShaped(), "memref element must be scalar");
+    HIDA_ASSERT(element && !element.isShaped(),
+                "memref element must be scalar");
     auto s = std::make_shared<TypeStorage>();
     s->kind = TypeKind::kMemRef;
     s->shape = std::move(shape);
@@ -93,8 +95,9 @@ storageEq(const TypeStorage* a, const TypeStorage* b)
         return true;
     if (!a || !b)
         return false;
-    if (a->kind != b->kind || a->width != b->width || a->isSigned != b->isSigned ||
-        a->shape != b->shape || a->depth != b->depth || a->space != b->space)
+    if (a->kind != b->kind || a->width != b->width ||
+        a->isSigned != b->isSigned || a->shape != b->shape ||
+        a->depth != b->depth || a->space != b->space)
         return false;
     return storageEq(a->element.get(), b->element.get());
 }

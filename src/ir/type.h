@@ -37,7 +37,7 @@ enum class MemorySpace {
 /** Shared immutable payload backing a Type handle. */
 struct TypeStorage {
     TypeKind kind = TypeKind::kNone;
-    unsigned width = 0;                ///< Bit width for int/float element types.
+    unsigned width = 0;                ///< Bit width for int/float types.
     bool isSigned = true;              ///< Signedness for integers.
     std::vector<int64_t> shape;        ///< For tensor/memref.
     std::shared_ptr<const TypeStorage> element;  ///< For tensor/memref/stream.
@@ -119,7 +119,8 @@ class Type {
     const TypeStorage* storage() const { return impl_.get(); }
 
   private:
-    explicit Type(std::shared_ptr<const TypeStorage> impl) : impl_(std::move(impl)) {}
+    explicit Type(std::shared_ptr<const TypeStorage> impl)
+        : impl_(std::move(impl)) {}
 
     std::shared_ptr<const TypeStorage> impl_;
 };

@@ -6,37 +6,23 @@
 
 namespace hida {
 
+namespace {
+
+/**
+ * Shared simulation core: timing comes from @p latencies / @p capacities
+ * (overlay arrays), wiring from @p producer_of / @p consumers_of. Both
+ * public simulate() entry points funnel here so the cached-skeleton path
+ * and the ad-hoc path can never diverge numerically.
+ */
 SimResult
-simulate(const SimGraph& graph, int frames)
+simulateCore(const SimGraph& graph, const std::vector<int>& producer_of,
+             const std::vector<std::vector<int>>& consumers_of,
+             const int64_t* latencies, const int64_t* capacities, int frames)
 {
     const int n = static_cast<int>(graph.nodes.size());
     SimResult result;
-    if (n == 0 || frames <= 0)
-        return result;
 
-    if (graph.sequential) {
-        int64_t total = 0;
-        for (const SimNode& node : graph.nodes)
-            total += node.latency;
-        result.frameLatency = total;
-        result.steadyInterval = static_cast<double>(total);
-        return result;
-    }
-
-    // finish[f][i]: cycle node i finishes frame f. Channel c's producer /
-    // consumers derived from node input/output lists.
-    std::vector<int> producer_of(graph.channels.size(), -1);
-    std::vector<std::vector<int>> consumers_of(graph.channels.size());
-    for (int i = 0; i < n; ++i) {
-        for (int c : graph.nodes[i].outputs) {
-            HIDA_ASSERT(producer_of[c] == -1,
-                        "simulator requires single-producer channels");
-            producer_of[c] = i;
-        }
-        for (int c : graph.nodes[i].inputs)
-            consumers_of[c].push_back(i);
-    }
-
+    // finish[f][i]: cycle node i finishes frame f.
     std::vector<std::vector<int64_t>> finish(
         frames, std::vector<int64_t>(n, 0));
     for (int f = 0; f < frames; ++f) {
@@ -54,14 +40,14 @@ simulate(const SimGraph& graph, int frames)
             // Back-pressure: writing frame f into channel c requires every
             // consumer to be done with frame f - capacity.
             for (int c : graph.nodes[i].outputs) {
-                int64_t cap = std::max<int64_t>(graph.channels[c].capacity, 1);
+                int64_t cap = std::max<int64_t>(capacities[c], 1);
                 if (f >= cap) {
                     for (int consumer : consumers_of[c])
                         start = std::max(start,
                                          finish[f - cap][consumer]);
                 }
             }
-            finish[f][i] = start + graph.nodes[i].latency;
+            finish[f][i] = start + latencies[i];
         }
     }
 
@@ -87,6 +73,98 @@ simulate(const SimGraph& graph, int frames)
         result.steadyInterval = static_cast<double>(first_done);
     }
     return result;
+}
+
+/** Sequential fallback: frames never overlap, so the per-frame time is
+ * simply the sum of node latencies (Section 6.4.1). */
+SimResult
+simulateSequential(const int64_t* latencies, size_t n)
+{
+    SimResult result;
+    int64_t total = 0;
+    for (size_t i = 0; i < n; ++i)
+        total += latencies[i];
+    result.frameLatency = total;
+    result.steadyInterval = static_cast<double>(total);
+    return result;
+}
+
+/** Derive adjacency into caller-owned vectors (local fallback path). */
+void
+deriveAdjacency(const SimGraph& graph, std::vector<int>& producer_of,
+                std::vector<std::vector<int>>& consumers_of)
+{
+    const int n = static_cast<int>(graph.nodes.size());
+    producer_of.assign(graph.channels.size(), -1);
+    consumers_of.assign(graph.channels.size(), {});
+    for (int i = 0; i < n; ++i) {
+        for (int c : graph.nodes[i].outputs) {
+            HIDA_ASSERT(producer_of[c] == -1,
+                        "simulator requires single-producer channels");
+            producer_of[c] = i;
+        }
+        for (int c : graph.nodes[i].inputs)
+            consumers_of[c].push_back(i);
+    }
+}
+
+} // namespace
+
+void
+SimGraph::buildAdjacency()
+{
+    deriveAdjacency(*this, producerOf, consumersOf);
+    adjacencyBuilt = true;
+}
+
+SimResult
+simulate(const SimGraph& graph, int frames)
+{
+    const size_t n = graph.nodes.size();
+    if (n == 0 || frames <= 0)
+        return SimResult();
+
+    // Gather the skeleton's own timing values as the overlay.
+    std::vector<int64_t> latencies(n);
+    for (size_t i = 0; i < n; ++i)
+        latencies[i] = graph.nodes[i].latency;
+    if (graph.sequential)
+        return simulateSequential(latencies.data(), n);
+
+    std::vector<int64_t> capacities(graph.channels.size());
+    for (size_t c = 0; c < graph.channels.size(); ++c)
+        capacities[c] = graph.channels[c].capacity;
+
+    if (graph.adjacencyBuilt)
+        return simulateCore(graph, graph.producerOf, graph.consumersOf,
+                            latencies.data(), capacities.data(), frames);
+    std::vector<int> producer_of;
+    std::vector<std::vector<int>> consumers_of;
+    deriveAdjacency(graph, producer_of, consumers_of);
+    return simulateCore(graph, producer_of, consumers_of, latencies.data(),
+                        capacities.data(), frames);
+}
+
+SimResult
+simulate(const SimGraph& graph, const std::vector<int64_t>& latencies,
+         const std::vector<int64_t>& capacities, int frames)
+{
+    HIDA_ASSERT(latencies.size() == graph.nodes.size(),
+                "latency overlay size must match node count");
+    HIDA_ASSERT(capacities.size() == graph.channels.size(),
+                "capacity overlay size must match channel count");
+    if (graph.nodes.empty() || frames <= 0)
+        return SimResult();
+    if (graph.sequential)
+        return simulateSequential(latencies.data(), latencies.size());
+    if (graph.adjacencyBuilt)
+        return simulateCore(graph, graph.producerOf, graph.consumersOf,
+                            latencies.data(), capacities.data(), frames);
+    std::vector<int> producer_of;
+    std::vector<std::vector<int>> consumers_of;
+    deriveAdjacency(graph, producer_of, consumers_of);
+    return simulateCore(graph, producer_of, consumers_of, latencies.data(),
+                        capacities.data(), frames);
 }
 
 } // namespace hida

@@ -12,6 +12,14 @@
  * The simulator both validates the analytic QoR model (tests compare the
  * two) and serves as the estimator's steady-state-interval engine — the
  * role Vitis HLS's dataflow checker plays for the paper.
+ *
+ * The graph separates *topology* (node/channel wiring, which only changes
+ * on structural IR edits) from *timing* (per-frame latencies and channel
+ * capacities, which change on every DSE directive point). A caller that
+ * re-simulates the same topology many times should buildAdjacency() once
+ * and pass fresh latencies/capacities through the overlay overload of
+ * simulate() — the skeleton stays const and the per-call setup cost
+ * disappears. This is what the QoR estimator's per-schedule cache does.
  */
 
 #include <cstdint>
@@ -42,12 +50,28 @@ struct SimGraph {
      * overlap is possible.
      */
     bool sequential = false;
+
+    /**
+     * @name Cached adjacency.
+     * Derived per-channel producer/consumer lists. Built once per
+     * topology by buildAdjacency(); simulate() falls back to a local
+     * rebuild when absent so ad-hoc graphs keep working unchanged.
+     * @{
+     */
+    std::vector<int> producerOf;               ///< Node writing channel c.
+    std::vector<std::vector<int>> consumersOf; ///< Nodes reading channel c.
+    bool adjacencyBuilt = false;
+    /** (Re)derive producerOf/consumersOf from the node channel lists. */
+    void buildAdjacency();
+    /** @} */
 };
 
 /** Timing results from simulating a window of frames. */
 struct SimResult {
     int64_t frameLatency = 0;     ///< Cycles from start to first frame out.
     double steadyInterval = 0.0;  ///< Cycles per frame at steady state.
+
+    bool operator==(const SimResult& other) const = default;
 };
 
 /**
@@ -55,6 +79,17 @@ struct SimResult {
  * steady state for any graph the compiler emits).
  */
 SimResult simulate(const SimGraph& graph, int frames = 32);
+
+/**
+ * Overlay form: simulate @p graph's topology with @p latencies (one per
+ * node) and @p capacities (one per channel) substituted for the values
+ * stored in the skeleton, which stays const. Semantically identical to
+ * copying the graph, patching the fields and calling simulate() — without
+ * the copy. Requires exact size matches.
+ */
+SimResult simulate(const SimGraph& graph,
+                   const std::vector<int64_t>& latencies,
+                   const std::vector<int64_t>& capacities, int frames = 32);
 
 } // namespace hida
 

@@ -8,7 +8,8 @@ namespace hida {
 void
 panicImpl(const char* file, int line, const std::string& msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line << std::endl;
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
     std::abort();
 }
 

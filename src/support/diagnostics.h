@@ -37,7 +37,8 @@ strCat(Args&&... args)
 
 } // namespace hida
 
-#define HIDA_PANIC(...) ::hida::panicImpl(__FILE__, __LINE__, ::hida::strCat(__VA_ARGS__))
+#define HIDA_PANIC(...)                                                      \
+    ::hida::panicImpl(__FILE__, __LINE__, ::hida::strCat(__VA_ARGS__))
 #define HIDA_FATAL(...) ::hida::fatalImpl(::hida::strCat(__VA_ARGS__))
 
 /** Assert an internal invariant; always enabled (cheap checks only). */

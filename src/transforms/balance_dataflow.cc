@@ -141,7 +141,7 @@ class BalanceDataPathsPass : public Pass {
             BufferOp buffer(def);
             def->result(0)->setType(
                 buffer.type().withMemorySpace(MemorySpace::kExternal));
-            def->setIntAttr("soft_fifo_depth", depth);
+            def->setIntAttr(BufferOp::softFifoDepthId(), depth);
             buffer.setStages(depth);
             // Refresh the mirrored block-argument types inside users.
             for (Operation* user : def->result(0)->users()) {
@@ -159,8 +159,8 @@ class BalanceDataPathsPass : public Pass {
         builder.setInsertionPointBefore(producer.op());
         StreamOp token =
             StreamOp::create(builder, Type::token(), depth, "token");
-        Value* produced =
-            producer.appendArgument(token.op()->result(0), MemoryEffect::kWrite);
+        Value* produced = producer.appendArgument(token.op()->result(0),
+                                                  MemoryEffect::kWrite);
         Value* consumed =
             consumer.appendArgument(token.op()->result(0), MemoryEffect::kRead);
 

@@ -85,9 +85,10 @@ wrapOps(const std::vector<Operation*>& ops,
         OpBuilder yield_builder(body);
         YieldOp::create(yield_builder, escaping);
         for (unsigned i = 0; i < escaping.size(); ++i) {
-            escaping[i]->replaceUsesIf(wrapper->result(i), [&](Operation* user) {
-                return !wrapper->isAncestorOf(user);
-            });
+            escaping[i]->replaceUsesIf(
+                wrapper->result(i), [&](Operation* user) {
+                    return !wrapper->isAncestorOf(user);
+                });
         }
     }
     return wrapper;

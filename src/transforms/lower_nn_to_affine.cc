@@ -215,7 +215,8 @@ NnCodeGen::run()
         // buffer so the result type mapping stays coherent until the task
         // results themselves are dropped below.
         for (Value* result : op->results()) {
-            Value* buf = bufferMap_.count(result) ? bufferMap_[result] : nullptr;
+            Value* buf =
+                bufferMap_.count(result) ? bufferMap_[result] : nullptr;
             if (buf != nullptr && result->hasUses())
                 result->replaceAllUsesWith(buf);
         }
@@ -236,7 +237,8 @@ NnCodeGen::run()
             tasks.push_back(op);
     }, WalkOrder::kPostOrder);
     for (Operation* old_task : tasks) {
-        if (!old_task->body()->empty() && isa<YieldOp>(old_task->body()->back()))
+        if (!old_task->body()->empty() &&
+            isa<YieldOp>(old_task->body()->back()))
             old_task->body()->back()->erase();
         OpBuilder builder;
         builder.setInsertionPointBefore(old_task);
@@ -304,8 +306,8 @@ NnCodeGen::lowerOp(Operation* op)
 
     Operation* relu = foldable_relu(op);
     bool fold = relu != nullptr &&
-                (isa<Conv2dOp>(op) || isa<DwConv2dOp>(op) || isa<LinearOp>(op) ||
-                 isa<NnAddOp>(op));
+                (isa<Conv2dOp>(op) || isa<DwConv2dOp>(op) ||
+                 isa<LinearOp>(op) || isa<NnAddOp>(op));
     if (fold) {
         // The relu output buffer *is* the producer's output buffer.
         Value* out_buf = bufferFor(relu->result(0), op);
@@ -394,7 +396,8 @@ NnCodeGen::emitUntiledConv(OpBuilder& builder, Value* in, Value* wt,
                           : c;
     Value* b = LoadOp::create(builder, wt, {o, weight_c, kh, kw})
                    .op()->result(0);
-    Value* m = BinaryOp::create(builder, BinaryKind::kMul, a, b).op()->result(0);
+    Value* m =
+        BinaryOp::create(builder, BinaryKind::kMul, a, b).op()->result(0);
     Value* acc = LoadOp::create(builder, out, {n, o, h, w}).op()->result(0);
     Value* sum =
         BinaryOp::create(builder, BinaryKind::kAdd, acc, m).op()->result(0);
@@ -531,7 +534,8 @@ NnCodeGen::emitTiledConv(OpBuilder& builder, Value* in, Value* wt, Value* bias,
             ApplyOp::create(tb, {hh, kh}, {stride, 1}, 0).op()->result(0);
         Value* col =
             ApplyOp::create(tb, {ww, kw}, {stride, 1}, 0).op()->result(0);
-        Value* a = LoadOp::create(tb, in_tile, {in_c, row, col}).op()->result(0);
+        Value* a =
+            LoadOp::create(tb, in_tile, {in_c, row, col}).op()->result(0);
         Value* b = LoadOp::create(tb, w_tile, {oo, c, kh, kw}).op()->result(0);
         Value* m =
             BinaryOp::create(tb, BinaryKind::kMul, a, b).op()->result(0);
@@ -554,8 +558,10 @@ NnCodeGen::emitTiledConv(OpBuilder& builder, Value* in, Value* wt, Value* bias,
             Value* zero = ConstantOp::create(tb, et, 0.0).op()->result(0);
             v = BinaryOp::create(tb, BinaryKind::kMax, v, zero).op()->result(0);
         }
-        Value* ext_o = ApplyOp::create(tb, {ot, oo}, {t_o, 1}, 0).op()->result(0);
-        Value* ext_h = ApplyOp::create(tb, {ht, hh}, {t_h, 1}, 0).op()->result(0);
+        Value* ext_o =
+            ApplyOp::create(tb, {ot, oo}, {t_o, 1}, 0).op()->result(0);
+        Value* ext_h =
+            ApplyOp::create(tb, {ht, hh}, {t_h, 1}, 0).op()->result(0);
         StoreOp::create(tb, v, out, {n, ext_o, ext_h, ww});
     }
 }
@@ -599,7 +605,8 @@ NnCodeGen::emitUntiledLinear(OpBuilder& builder, Value* in, Value* wt,
     tagLoop(f, "cpf_loop");
     Value* a = LoadOp::create(builder, in, {n, f}).op()->result(0);
     Value* b = LoadOp::create(builder, wt, {o, f}).op()->result(0);
-    Value* m = BinaryOp::create(builder, BinaryKind::kMul, a, b).op()->result(0);
+    Value* m =
+        BinaryOp::create(builder, BinaryKind::kMul, a, b).op()->result(0);
     Value* acc = LoadOp::create(builder, out, {n, o}).op()->result(0);
     Value* sum =
         BinaryOp::create(builder, BinaryKind::kAdd, acc, m).op()->result(0);
@@ -712,7 +719,8 @@ NnCodeGen::emitTiledLinear(OpBuilder& builder, Value* in, Value* wt,
             Value* zero = ConstantOp::create(tb, et, 0.0).op()->result(0);
             v = BinaryOp::create(tb, BinaryKind::kMax, v, zero).op()->result(0);
         }
-        Value* ext_o = ApplyOp::create(tb, {ot, oo}, {t_o, 1}, 0).op()->result(0);
+        Value* ext_o =
+            ApplyOp::create(tb, {ot, oo}, {t_o, 1}, 0).op()->result(0);
         StoreOp::create(tb, v, out, {n, ext_o});
     }
 }
@@ -756,8 +764,8 @@ NnCodeGen::lowerPool(Operation* op, bool is_max)
         Value* denom = ConstantOp::create(
                            tail, et, static_cast<double>(kernel * kernel))
                            .op()->result(0);
-        Value* avg =
-            BinaryOp::create(tail, BinaryKind::kDiv, sum, denom).op()->result(0);
+        Value* avg = BinaryOp::create(tail, BinaryKind::kDiv, sum, denom)
+                         .op()->result(0);
         StoreOp::create(tail, avg, out, {n, c, h, w});
     }
 }
@@ -780,7 +788,8 @@ NnCodeGen::lowerElementwise(Operation* op, bool fold_relu)
     if (isa<NnAddOp>(op)) {
         Value* a = LoadOp::create(builder, ins[0], ivs).op()->result(0);
         Value* b = LoadOp::create(builder, ins[1], ivs).op()->result(0);
-        value = BinaryOp::create(builder, BinaryKind::kAdd, a, b).op()->result(0);
+        value =
+            BinaryOp::create(builder, BinaryKind::kAdd, a, b).op()->result(0);
     } else {  // relu
         value = LoadOp::create(builder, ins[0], ivs).op()->result(0);
     }

@@ -179,7 +179,8 @@ class Parallelizer {
                         continue;
                     double scaled = other_factors[s] * conn.scaleSToT[s];
                     if (scaled >= 1.0)
-                        constraint[t] = static_cast<int64_t>(std::llround(scaled));
+                        constraint[t] =
+                            static_cast<int64_t>(std::llround(scaled));
                 }
             } else {
                 for (size_t s = 0; s < conn.permTToS.size() &&

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/dialect/affine/affine_ops.h"
+#include "src/dialect/arith/arith_ops.h"
 #include "src/driver/driver.h"
 #include "src/estimator/qor.h"
 #include "src/frontend/loop_builder.h"
@@ -158,6 +160,255 @@ TEST(EstimatorTest, PartitioningRemovesPortConflicts)
     };
     // Banked buffer sustains the unrolled accesses; unbanked conflicts.
     EXPECT_LT(interval_at(8), interval_at(1));
+}
+
+/**
+ * Hand-built three-node pipeline schedule for pinning the schedule-level
+ * cache counters exactly:
+ *
+ *   schedule { A = buffer; B = buffer;
+ *              n1 { for: store A }  n2 { for: A -> B }  n3 { for: load B } }
+ */
+struct ScheduleCacheFixture {
+    OwnedModule module;
+    FuncOp func{nullptr};
+    ScheduleOp schedule{nullptr};
+    NodeOp n1{nullptr}, n2{nullptr}, n3{nullptr};
+    BufferOp bufA{nullptr}, bufB{nullptr};
+    ForOp loop2{nullptr};  ///< The nest inside n2 (directive target).
+
+    ScheduleCacheFixture()
+    {
+        OpBuilder top(module.get().body());
+        func = FuncOp::create(top, "sched", {});
+        OpBuilder fb(func.body());
+        schedule = ScheduleOp::create(fb, {});
+        OpBuilder sb(schedule.body());
+        Type mem = Type::memref({32}, Type::f32(), MemorySpace::kOnChip);
+        bufA = BufferOp::create(sb, mem, /*stages=*/2, "A");
+        bufB = BufferOp::create(sb, mem, /*stages=*/2, "B");
+
+        n1 = NodeOp::create(sb, {bufA.op()->result(0)},
+                            {MemoryEffect::kWrite}, "n1");
+        {
+            OpBuilder nb(n1.body());
+            ForOp loop = ForOp::create(nb, 0, 32);
+            OpBuilder lb(loop.body());
+            Value* one =
+                ConstantOp::create(lb, Type::f32(), 1.0).op()->result(0);
+            StoreOp::create(lb, one, n1.innerArg(0), {loop.inductionVar()});
+        }
+        n2 = NodeOp::create(sb,
+                            {bufA.op()->result(0), bufB.op()->result(0)},
+                            {MemoryEffect::kRead, MemoryEffect::kWrite},
+                            "n2");
+        {
+            OpBuilder nb(n2.body());
+            loop2 = ForOp::create(nb, 0, 32);
+            OpBuilder lb(loop2.body());
+            Value* x = LoadOp::create(lb, n2.innerArg(0),
+                                      {loop2.inductionVar()})
+                           .op()
+                           ->result(0);
+            StoreOp::create(lb, x, n2.innerArg(1), {loop2.inductionVar()});
+        }
+        n3 = NodeOp::create(sb, {bufB.op()->result(0)},
+                            {MemoryEffect::kRead}, "n3");
+        {
+            OpBuilder nb(n3.body());
+            ForOp loop = ForOp::create(nb, 0, 32);
+            OpBuilder lb(loop.body());
+            LoadOp::create(lb, n3.innerArg(0), {loop.inductionVar()});
+        }
+    }
+
+    /** Cold-estimator reference for the current directive state. */
+    DesignQor
+    cold()
+    {
+        QorEstimator estimator(TargetDevice::zu3eg());
+        return estimator.estimateFunc(func);
+    }
+};
+
+/** Warm results must equal a cold estimator's, field for field. */
+void
+expectEqualQor(const DesignQor& warm, const DesignQor& cold,
+               const char* when)
+{
+    EXPECT_EQ(warm.latencyCycles, cold.latencyCycles) << when;
+    EXPECT_EQ(warm.intervalCycles, cold.intervalCycles) << when;
+    EXPECT_EQ(warm.res.lut, cold.res.lut) << when;
+    EXPECT_EQ(warm.res.ff, cold.res.ff) << when;
+    EXPECT_EQ(warm.res.dsp, cold.res.dsp) << when;
+    EXPECT_EQ(warm.res.bram18k, cold.res.bram18k) << when;
+}
+
+TEST(ScheduleCacheTest, RepeatEstimateReusesSkeletonAndSimResult)
+{
+    ScheduleCacheFixture f;
+    QorEstimator estimator(TargetDevice::zu3eg());
+    DesignQor first = estimator.estimateFunc(f.func);
+    QorCacheStats s1 = estimator.cacheStats();
+    EXPECT_EQ(s1.scheduleBuilds, 1u);
+    EXPECT_EQ(s1.scheduleReuses, 0u);
+    EXPECT_EQ(s1.misses, 3u);  // one per node
+    EXPECT_EQ(s1.hits, 0u);
+    EXPECT_EQ(s1.simRuns, 1u);
+    EXPECT_EQ(s1.simSkips, 0u);
+
+    // Unchanged directives: the skeleton, every node estimate AND the
+    // cached SimResult are reused — no node memo lookup even happens.
+    DesignQor second = estimator.estimateFunc(f.func);
+    QorCacheStats s2 = estimator.cacheStats();
+    EXPECT_EQ(s2.scheduleBuilds, 1u);
+    EXPECT_EQ(s2.scheduleReuses, 1u);
+    EXPECT_EQ(s2.misses, 3u);
+    EXPECT_EQ(s2.hits, 0u);
+    EXPECT_EQ(s2.simRuns, 1u);
+    EXPECT_EQ(s2.simSkips, 1u);
+    expectEqualQor(second, first, "repeat pass");
+}
+
+TEST(ScheduleCacheTest, DirectiveEditReestimatesOnlyTheMutatedNode)
+{
+    ScheduleCacheFixture f;
+    QorEstimator estimator(TargetDevice::zu3eg());
+    estimator.estimateFunc(f.func);
+
+    // Unrolling the nest inside n2 re-estimates exactly n2 (one new
+    // miss, no hits), reuses the cached graph/sim skeleton, and
+    // re-simulates because n2's per-frame latency moved.
+    f.loop2.setUnrollFactor(2);
+    DesignQor warm = estimator.estimateFunc(f.func);
+    QorCacheStats s = estimator.cacheStats();
+    EXPECT_EQ(s.scheduleBuilds, 1u);
+    EXPECT_EQ(s.scheduleReuses, 1u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.simRuns, 2u);
+    expectEqualQor(warm, f.cold(), "after unroll");
+
+    // Reverting the directive restores the original fingerprint: the
+    // node comes back as a memo hit, never a recompute.
+    f.loop2.op()->removeAttr(ForOp::unrollId());
+    warm = estimator.estimateFunc(f.func);
+    s = estimator.cacheStats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.simRuns, 3u);
+    expectEqualQor(warm, f.cold(), "after revert");
+}
+
+TEST(ScheduleCacheTest, StructuralEditForcesSkeletonRebuild)
+{
+    ScheduleCacheFixture f;
+    QorEstimator estimator(TargetDevice::zu3eg());
+    estimator.estimateFunc(f.func);
+
+    // A structural edit in the schedule body (moving an op) bumps the
+    // structure epoch: the graph/sim skeleton is rebuilt and the frame
+    // simulation re-runs. The node estimates themselves are untouched,
+    // so all three come back as memo hits.
+    f.bufB.op()->moveToFront(f.schedule.body());
+    DesignQor warm = estimator.estimateFunc(f.func);
+    QorCacheStats s = estimator.cacheStats();
+    EXPECT_EQ(s.scheduleBuilds, 2u);
+    EXPECT_EQ(s.scheduleReuses, 0u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 3u);
+    EXPECT_EQ(s.simRuns, 2u);
+    expectEqualQor(warm, f.cold(), "after structural move");
+}
+
+TEST(ScheduleCacheTest, ChannelDepthEditResimulatesWithoutNodeReestimates)
+{
+    ScheduleCacheFixture f;
+    QorEstimator estimator(TargetDevice::zu3eg());
+    estimator.estimateFunc(f.func);
+
+    // "stages" feeds only the channel capacity (and the buffer's own
+    // resources), not any node fingerprint: the warm pass re-simulates
+    // with the new capacity but performs zero node memo lookups.
+    f.bufB.setStages(4);
+    DesignQor warm = estimator.estimateFunc(f.func);
+    QorCacheStats s = estimator.cacheStats();
+    EXPECT_EQ(s.scheduleBuilds, 1u);
+    EXPECT_EQ(s.scheduleReuses, 1u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.simRuns, 2u);
+    expectEqualQor(warm, f.cold(), "after stages edit");
+
+    // Same contract for the balancing-written soft-FIFO depth.
+    f.bufA.op()->setIntAttr(BufferOp::softFifoDepthId(), 6);
+    warm = estimator.estimateFunc(f.func);
+    s = estimator.cacheStats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.simRuns, 3u);
+    expectEqualQor(warm, f.cold(), "after soft_fifo_depth edit");
+
+    // And once the depths settle, the SimResult is served from cache.
+    warm = estimator.estimateFunc(f.func);
+    s = estimator.cacheStats();
+    EXPECT_EQ(s.simRuns, 3u);
+    EXPECT_EQ(s.simSkips, 1u);
+    expectEqualQor(warm, f.cold(), "settled depths");
+}
+
+TEST(ScheduleCacheTest, NestedScheduleDepthEditInvalidatesOuterNode)
+{
+    // Regression: a memoized *node* estimate can embed a nested
+    // schedule's simulated interval, which depends on channel depths.
+    // For such hierarchical subtrees the node fingerprint must fold the
+    // full buffer hash (stages included) — the depth-exclusion
+    // optimization only applies to leaf subtrees.
+    OwnedModule module;
+    OpBuilder top(module.get().body());
+    FuncOp func = FuncOp::create(top, "nested", {});
+    OpBuilder fb(func.body());
+    ScheduleOp outer = ScheduleOp::create(fb, {});
+    OpBuilder ob(outer.body());
+    Type mem = Type::memref({32}, Type::f32(), MemorySpace::kOnChip);
+    BufferOp bufC = BufferOp::create(ob, mem, /*stages=*/1, "C");
+    NodeOp wrap = NodeOp::create(ob, {bufC.op()->result(0)},
+                                 {MemoryEffect::kReadWrite}, "wrap");
+    OpBuilder wb(wrap.body());
+    ScheduleOp inner = ScheduleOp::create(wb, {wrap.innerArg(0)});
+    OpBuilder ib(inner.body());
+    Value* chan = inner.body()->argument(0);
+    auto make_tiled_node = [&](MemoryEffect effect, bool writes) {
+        NodeOp node = NodeOp::create(ib, {chan}, {effect},
+                                     writes ? "p" : "q");
+        OpBuilder nb(node.body());
+        ForOp tile = ForOp::create(nb, 0, 4);
+        tile.op()->setAttr(ForOp::tileLoopId(), Attribute::unit());
+        OpBuilder tb(tile.body());
+        ForOp loop = ForOp::create(tb, 0, 8);
+        OpBuilder lb(loop.body());
+        if (writes) {
+            Value* one =
+                ConstantOp::create(lb, Type::f32(), 1.0).op()->result(0);
+            StoreOp::create(lb, one, node.innerArg(0),
+                            {loop.inductionVar()});
+        } else {
+            LoadOp::create(lb, node.innerArg(0), {loop.inductionVar()});
+        }
+        return node;
+    };
+    make_tiled_node(MemoryEffect::kWrite, true);
+    make_tiled_node(MemoryEffect::kRead, false);
+
+    QorEstimator warm(TargetDevice::zu3eg());
+    warm.estimateFunc(func);
+    // Raising the channel depth relieves the nested back-pressure; the
+    // warm estimator must not serve the capacity-1 node estimate.
+    bufC.setStages(4);
+    DesignQor after = warm.estimateFunc(func);
+    QorEstimator cold(TargetDevice::zu3eg());
+    DesignQor fresh = cold.estimateFunc(func);
+    expectEqualQor(after, fresh, "nested schedule after stages edit");
 }
 
 TEST(EstimatorTest, CompileIsFast)

@@ -35,7 +35,8 @@ TEST_F(IrCoreTest, TypeConstructionAndEquality)
     EXPECT_EQ(memref.elementType(), Type::f32());
     EXPECT_EQ(memref.shape(), (std::vector<int64_t>{4, 8}));
     EXPECT_EQ(memref, Type::memref({4, 8}, Type::f32()));
-    EXPECT_NE(memref, Type::memref({4, 8}, Type::f32(), MemorySpace::kExternal));
+    EXPECT_NE(memref,
+              Type::memref({4, 8}, Type::f32(), MemorySpace::kExternal));
     EXPECT_EQ(memref.withMemorySpace(MemorySpace::kExternal).memorySpace(),
               MemorySpace::kExternal);
 

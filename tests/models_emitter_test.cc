@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "src/dialect/nn/nn_ops.h"
 #include "src/driver/driver.h"
 #include "src/emitter/hls_emitter.h"
+#include "src/frontend/loop_builder.h"
 #include "src/frontend/torch_builder.h"
 #include "src/ir/verifier.h"
 #include "src/models/dnn_models.h"
@@ -128,6 +135,165 @@ TEST(EmitterTest, DeterministicOutput)
     OwnedModule module = buildPolybenchKernel("atax", 16);
     compile(module.get(), Flow::kHida, TargetDevice::zu3eg());
     EXPECT_EQ(emitHlsCpp(module.get()), emitHlsCpp(module.get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Golden QoR tables
+//
+// The deterministic QoR numbers backing the paper-table benches
+// (bench_table4_6_listing1 / bench_table7_polybench / bench_table8_dnn)
+// are pinned under tests/golden/ so an estimator refactor cannot
+// silently drift the published tables. Wall-clock columns are excluded
+// — only latency/interval/resource numbers, which must be bit-stable.
+// Regenerate with HIDA_UPDATE_GOLDEN=1 after an *intentional* model
+// change and review the diff like any other code change.
+//===----------------------------------------------------------------------===//
+
+std::string
+formatQorLine(const std::string& name, const DesignQor& qor)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-14s latency=%lld interval=%.4f lut=%lld ff=%lld "
+                  "dsp=%lld bram=%lld\n",
+                  name.c_str(),
+                  static_cast<long long>(qor.latencyCycles),
+                  qor.intervalCycles,
+                  static_cast<long long>(qor.res.lut),
+                  static_cast<long long>(qor.res.ff),
+                  static_cast<long long>(qor.res.dsp),
+                  static_cast<long long>(qor.res.bram18k));
+    return line;
+}
+
+void
+compareWithGolden(const std::string& file, const std::string& actual)
+{
+    std::string path =
+        std::string(HIDA_SOURCE_DIR) + "/tests/golden/" + file;
+    if (std::getenv("HIDA_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (generate with HIDA_UPDATE_GOLDEN=1)";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "golden QoR numbers drifted (" << path << "); if the change is "
+        << "intentional, regenerate with HIDA_UPDATE_GOLDEN=1 and review "
+        << "the diff";
+}
+
+TEST(GoldenQorTest, PolybenchTable7NumbersPinned)
+{
+    std::string actual;
+    for (const std::string& name : polybenchKernelNames()) {
+        OwnedModule module = buildPolybenchKernel(name, 32);
+        CompileResult result =
+            compile(module.get(), Flow::kHida, TargetDevice::zu3eg());
+        actual += formatQorLine(name, result.qor);
+    }
+    compareWithGolden("qor_table7_polybench.golden", actual);
+}
+
+TEST(GoldenQorTest, DnnTable8NumbersPinned)
+{
+    std::string actual;
+    {
+        OwnedModule module = buildLeNet(1);
+        CompileResult result =
+            compile(module.get(), Flow::kHida, TargetDevice::pynqZ2());
+        actual += formatQorLine("LeNet-b1", result.qor);
+    }
+    {
+        OwnedModule module = buildLeNet(10);
+        CompileResult result =
+            compile(module.get(), Flow::kHida, TargetDevice::pynqZ2());
+        actual += formatQorLine("LeNet-b10", result.qor);
+    }
+    {
+        OwnedModule module = buildDnnModel("MLP");
+        CompileResult result =
+            compile(module.get(), Flow::kHida, TargetDevice::vu9pSlr());
+        actual += formatQorLine("MLP", result.qor);
+    }
+    compareWithGolden("qor_table8_dnn.golden", actual);
+}
+
+/** Listing 1 (Tables 4/6): two producer nests and one strided consumer. */
+OwnedModule
+buildListing1Kernel()
+{
+    KernelBuilder kb("listing1");
+    Value* a = kb.local({32, 16}, "A");
+    Value* bm = kb.local({16, 16}, "B");
+    Value* c = kb.local({16, 16}, "C");
+    kb.nest({32, 16}, [&](OpBuilder& b, const std::vector<Value*>& iv) {
+        kb.store(b, kb.constant(b, kb.element(), 1.0), a, {iv[0], iv[1]});
+    });
+    kb.nest({16, 16}, [&](OpBuilder& b, const std::vector<Value*>& iv) {
+        kb.store(b, kb.constant(b, kb.element(), 2.0), bm, {iv[0], iv[1]});
+    });
+    kb.nest({16, 16, 16}, [&](OpBuilder& b, const std::vector<Value*>& iv) {
+        Value* strided = kb.apply(b, {iv[0]}, {2});
+        Value* x = kb.load(b, a, {strided, iv[2]});
+        Value* y = kb.load(b, bm, {iv[2], iv[1]});
+        kb.store(b, kb.mul(b, x, y), c, {iv[0], iv[1]});
+    });
+    return kb.takeModule();
+}
+
+TEST(GoldenQorTest, Listing1Table4NumbersPinned)
+{
+    // Pins both flows on the Listing 1 micro-kernel (each array has a
+    // single producer, so both overlap). The channel buffers must be
+    // charged exactly once per estimate walk: re-estimating has to be
+    // idempotent on resources.
+    std::string actual;
+    for (Flow flow : {Flow::kHida, Flow::kScaleHls}) {
+        OwnedModule module = buildListing1Kernel();
+        FlowOptions options = optionsFor(flow);
+        options.enableTiling = false;
+        options.enableParallelization = false;
+        CompileResult result =
+            compile(module.get(), options, TargetDevice::zu3eg());
+        actual += formatQorLine(flowName(flow), result.qor);
+
+        FuncOp func(nullptr);
+        for (Operation* op : module.get().body()->ops())
+            if (auto f = dynCast<FuncOp>(op))
+                func = f;
+        QorEstimator estimator(TargetDevice::zu3eg());
+        DesignQor once = estimator.estimateFunc(func);
+        DesignQor twice = estimator.estimateFunc(func);
+        EXPECT_EQ(once.res.lut, twice.res.lut);
+        EXPECT_EQ(once.res.ff, twice.res.ff);
+        EXPECT_EQ(once.res.bram18k, twice.res.bram18k);
+        EXPECT_EQ(once.latencyCycles, twice.latencyCycles);
+    }
+    compareWithGolden("qor_table4_listing1.golden", actual);
+}
+
+TEST(GoldenQorTest, MultiProducerSequentialFallbackPinned)
+{
+    // 3mm under the ScaleHLS flow keeps its multi-producer init nests,
+    // so the schedule estimate must take the sequential fallback
+    // (Section 6.4.1): no overlap, interval == latency — and the
+    // numbers are pinned so the fallback path cannot silently drift.
+    OwnedModule module = buildPolybenchKernel("3mm", 32);
+    FlowOptions options = optionsFor(Flow::kScaleHls);
+    options.enableParallelization = false;
+    CompileResult result =
+        compile(module.get(), options, TargetDevice::zu3eg());
+    EXPECT_DOUBLE_EQ(result.qor.intervalCycles,
+                     static_cast<double>(result.qor.latencyCycles));
+    compareWithGolden("qor_multi_producer_3mm.golden",
+                      formatQorLine("3mm-scalehls", result.qor));
 }
 
 } // namespace

@@ -92,6 +92,88 @@ TEST(SimTest, EmptyGraph)
     EXPECT_DOUBLE_EQ(result.steadyInterval, 0.0);
 }
 
+TEST(SimTest, SequentialFallbackGoldenIntervals)
+{
+    // Multi-producer fallback (Section 6.4.1): no overlap is possible,
+    // so both timing numbers are the plain latency sum — pinned for the
+    // unbalanced four-stage case and for a single-node degenerate one.
+    SimGraph graph;
+    graph.sequential = true;
+    graph.nodes = {{17, {}, {}}, {40, {}, {}}, {3, {}, {}}, {25, {}, {}}};
+    SimResult result = simulate(graph);
+    EXPECT_EQ(result.frameLatency, 85);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 85.0);
+
+    SimGraph one;
+    one.sequential = true;
+    one.nodes = {{64, {}, {}}};
+    SimResult single = simulate(one);
+    EXPECT_EQ(single.frameLatency, 64);
+    EXPECT_DOUBLE_EQ(single.steadyInterval, 64.0);
+
+    // The overlay entry point takes timing from the overlay, not the
+    // skeleton: zeroing the skeleton latencies must change nothing.
+    SimGraph zeroed = graph;
+    for (SimNode& node : zeroed.nodes)
+        node.latency = 0;
+    EXPECT_EQ(simulate(zeroed, {17, 40, 3, 25}, {}), result);
+}
+
+TEST(SimTest, CapacityOneBackPressureChainGoldens)
+{
+    // With single-frame channels the producer may only start frame f+1
+    // once the consumer finished frame f: adjacent pairs serialize and
+    // the interval settles at 2L regardless of the chain length.
+    for (int length : {2, 3, 5, 8}) {
+        SimResult result = simulate(chain(length, 100, 1));
+        EXPECT_DOUBLE_EQ(result.steadyInterval, 200.0) << length;
+        EXPECT_EQ(result.frameLatency, 100 * length) << length;
+    }
+    // Unbalanced capacity-1 chain: the slowest serialized pair bounds
+    // the interval — 10+70 here (golden from the 10-70-10 case).
+    SimGraph graph = chain(3, 10, 1);
+    graph.nodes[1].latency = 70;
+    SimResult result = simulate(graph);
+    EXPECT_EQ(result.frameLatency, 90);
+    EXPECT_DOUBLE_EQ(result.steadyInterval, 80.0);
+}
+
+TEST(SimTest, OverlayMatchesPatchedGraph)
+{
+    // simulate(skeleton, latencies, capacities) must return the exact
+    // SimResult of copying the graph and patching the fields — the
+    // estimator's warm path depends on this identity.
+    SimGraph skeleton = chain(4, 1, 1);
+    std::vector<int64_t> latencies = {13, 7, 101, 29};
+    std::vector<int64_t> capacities = {1, 2, 3};
+
+    SimGraph patched = skeleton;
+    for (size_t i = 0; i < latencies.size(); ++i)
+        patched.nodes[i].latency = latencies[i];
+    for (size_t c = 0; c < capacities.size(); ++c)
+        patched.channels[c].capacity = capacities[c];
+
+    EXPECT_EQ(simulate(skeleton, latencies, capacities),
+              simulate(patched));
+    // Fewer frames exercise the frames<2 interval fallback identically.
+    EXPECT_EQ(simulate(skeleton, latencies, capacities, 1),
+              simulate(patched, 1));
+}
+
+TEST(SimTest, CachedAdjacencyDoesNotChangeResults)
+{
+    // The Figure 8 join graph with and without buildAdjacency(): the
+    // cached-adjacency fast path must be an exact no-op on the numbers.
+    SimGraph graph;
+    graph.channels = {{2}, {2}, {1}};
+    graph.nodes = {{100, {}, {0, 2}}, {100, {0}, {1}}, {100, {1, 2}, {}}};
+    SimResult fresh = simulate(graph);
+    graph.buildAdjacency();
+    EXPECT_TRUE(graph.adjacencyBuilt);
+    EXPECT_EQ(simulate(graph), fresh);
+    EXPECT_EQ(simulate(graph, {100, 100, 100}, {2, 2, 1}), fresh);
+}
+
 /** Property sweep: for any chain, ping-pong interval equals the slowest
  * node and latency equals the sum of latencies. */
 class SimChainProperty
