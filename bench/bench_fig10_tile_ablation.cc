@@ -6,11 +6,17 @@
  * check: DSP/memory/throughput all grow with the parallel factor; tiny
  * tiles inflate DSP via address generation; throughput correlates
  * positively with tile size at large parallel factors.
+ *
+ * Each point is an independent full compile, so the sweep runs on the
+ * sharded DSE engine: every worker builds and compiles its own modules,
+ * and results are printed in grid order — identical output at any
+ * HIDA_BENCH_THREADS.
  */
 
 #include <cstdio>
 
 #include "src/driver/driver.h"
+#include "src/dse/sweep.h"
 #include "src/models/dnn_models.h"
 
 using namespace hida;
@@ -19,24 +25,34 @@ int
 main()
 {
     TargetDevice device = TargetDevice::vu9pSlr();
-    const int64_t factors[] = {1, 4, 16, 64, 256};
-    const int64_t tiles[] = {2, 4, 8, 16, 32};
+    DesignPointGrid grid;
+    grid.addAxis("pf", {1, 4, 16, 64, 256});
+    grid.addAxis("tile", {2, 4, 8, 16, 32});
+
+    std::vector<CompileResult> results = ShardedSweep::run<CompileResult>(
+        grid,
+        [&]() {
+            return [&device](size_t, const std::vector<int64_t>& vals) {
+                OwnedModule module = buildDnnModel("ResNet-18", nullptr);
+                FlowOptions options = optionsFor(Flow::kHida);
+                options.maxParallelFactor = vals[0];
+                options.tileSize = vals[1];
+                return compile(module.get(), options, device);
+            };
+        },
+        dseThreadCount());
 
     std::printf("Figure 10: ResNet-18 parallel factor x tile size ablation "
                 "(VU9P one SLR)\n");
     std::printf("%8s %6s %8s %8s %12s\n", "PF", "Tile", "DSP", "BRAM",
                 "Thr(smp/s)");
-    for (int64_t pf : factors) {
-        for (int64_t tile : tiles) {
-            OwnedModule module = buildDnnModel("ResNet-18", nullptr);
-            FlowOptions options = optionsFor(Flow::kHida);
-            options.maxParallelFactor = pf;
-            options.tileSize = tile;
-            CompileResult result = compile(module.get(), options, device);
-            std::printf("%8ld %6ld %8ld %8ld %12.2f\n", pf, tile,
-                        result.qor.res.dsp, result.qor.res.bram18k,
-                        result.qor.throughput(device));
-        }
+    std::vector<int64_t> vals;
+    for (size_t i = 0; i < grid.size(); ++i) {
+        grid.decode(i, vals);
+        const CompileResult& result = results[i];
+        std::printf("%8ld %6ld %8ld %8ld %12.2f\n", vals[0], vals[1],
+                    result.qor.res.dsp, result.qor.res.bram18k,
+                    result.qor.throughput(device));
     }
     return 0;
 }

@@ -7,17 +7,22 @@
  * The exhaustive sweep walks the exact factor grid of Table 1 — BATCH x
  * KPF1 x (KPF2,CPF2) x (KPF3,CPF3) — under both dataflow and non-dataflow
  * settings (5*4*5*4*6*5 * 2 = 24,000 points, matching the paper's
- * "more than 2.4e4 points"). Each point re-applies the factors to a
- * pre-lowered design, re-partitions the arrays, and re-estimates QoR;
- * the HIDA point is the fully automated flow.
+ * "more than 2.4e4 points"). Each (mode, batch) prototype is lowered
+ * once; the per-factor grid is then swept by the sharded DSE engine
+ * (src/dse/): every worker deep-clones the prototype, re-applies the
+ * factors per point, re-partitions the arrays and re-estimates QoR with
+ * its own estimator, and results are merged in grid order — so stdout is
+ * bit-identical to the serial sweep at any HIDA_BENCH_THREADS.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "src/dialect/affine/affine_ops.h"
 #include "src/driver/driver.h"
+#include "src/dse/sweep.h"
 #include "src/models/dnn_models.h"
 #include "src/transforms/passes.h"
 
@@ -25,29 +30,49 @@ using namespace hida;
 
 namespace {
 
+// Namespace-scope interned tags: interned once at startup, before any
+// worker thread exists. (Function-local statics would also be safe —
+// magic-static init plus the now-internally-locked Identifier::get —
+// this is a warm-up and a scoping choice, not a race fix.)
+const Identifier kLayerSeqId = Identifier::get("layer_seq");
+const Identifier kKpfLoopId = Identifier::get("kpf_loop");
+const Identifier kCpfLoopId = Identifier::get("cpf_loop");
+
 struct Point {
     double util = 0.0;       ///< max(BRAM%, DSP%, LUT%).
     double throughput = 0.0; ///< images/s (batch-adjusted).
     bool dataflow = false;
 };
 
-/** Find the kpf/cpf loops of layer @p seq. */
+/** Set the kpf/cpf unroll factors of layer @p seq (Table 2 fixed points;
+ * the sweep itself goes through the grid-driven applyPoint). */
 void
 setLayerFactors(ModuleOp module, int64_t seq, int64_t kpf, int64_t cpf)
 {
-    static const Identifier layer_seq_id = Identifier::get("layer_seq");
-    static const Identifier kpf_loop_id = Identifier::get("kpf_loop");
-    static const Identifier cpf_loop_id = Identifier::get("cpf_loop");
     module.op()->walk([&](Operation* op) {
-        if (!isa<ForOp>(op) || op->intAttrOr(layer_seq_id, -1) != seq)
+        if (!isa<ForOp>(op) || op->intAttrOr(kLayerSeqId, -1) != seq)
             return;
-        if (op->hasAttr(kpf_loop_id))
+        if (op->hasAttr(kKpfLoopId))
             ForOp(op).setUnrollFactor(
                 std::min<int64_t>(kpf, ForOp(op).tripCount()));
-        if (op->hasAttr(cpf_loop_id))
+        if (op->hasAttr(kCpfLoopId))
             ForOp(op).setUnrollFactor(
                 std::min<int64_t>(cpf, ForOp(op).tripCount()));
     });
+}
+
+/** The Table 1 factor grid (KPF/CPF per layer; CPF1 is fixed at 1). */
+DesignPointGrid
+factorGrid()
+{
+    DesignPointGrid grid;
+    grid.addDirectiveAxis("kpf1", {1, 2, 3, 6}, 1, "kpf_loop");
+    grid.addDirectiveAxis("cpf1", {1}, 1, "cpf_loop");
+    grid.addDirectiveAxis("kpf2", {1, 2, 4, 8, 16}, 2, "kpf_loop");
+    grid.addDirectiveAxis("cpf2", {1, 2, 3, 6}, 2, "cpf_loop");
+    grid.addDirectiveAxis("kpf3", {1, 2, 3, 4, 6, 8}, 3, "kpf_loop");
+    grid.addDirectiveAxis("cpf3", {1, 2, 4, 8, 16}, 3, "cpf_loop");
+    return grid;
 }
 
 /** Upper-convex (Pareto) filter: max throughput per utilization budget. */
@@ -75,16 +100,14 @@ main()
 {
     TargetDevice device = TargetDevice::pynqZ2();
     const std::vector<int64_t> batches = {1, 5, 10, 15, 20};
-    const std::vector<int64_t> kpf1 = {1, 2, 3, 6};
-    const std::vector<int64_t> kpf2 = {1, 2, 4, 8, 16};
-    const std::vector<int64_t> cpf2 = {1, 2, 3, 6};
-    const std::vector<int64_t> kpf3 = {1, 2, 3, 4, 6, 8};
-    const std::vector<int64_t> cpf3 = {1, 2, 4, 8, 16};
+    const DesignPointGrid grid = factorGrid();
+    const unsigned threads = dseThreadCount();
 
     std::vector<Point> points;
     for (bool dataflow : {true, false}) {
         for (int64_t batch : batches) {
-            // Lower once per (mode, batch); re-apply factors per point.
+            // Lower once per (mode, batch); the sharded sweep re-applies
+            // factors per point on per-worker clones of this prototype.
             OwnedModule module = buildLeNet(batch);
             FlowOptions options = optionsFor(dataflow ? Flow::kHida
                                                       : Flow::kVitis);
@@ -92,37 +115,32 @@ main()
             options.enableParallelization = false;
             compile(module.get(), options, device);
 
-            FuncOp func(nullptr);
-            for (Operation* op : module.get().body()->ops())
-                if (auto f = dynCast<FuncOp>(op))
-                    func = f;
-
             FlowOptions partition_options = options;
             partition_options.enableParallelization = true;
-            auto partition = createArrayPartitionPass(partition_options);
-            QorEstimator estimator(device);
 
-            for (int64_t k1 : kpf1) {
-                for (int64_t k2 : kpf2) {
-                    for (int64_t c2 : cpf2) {
-                        for (int64_t k3 : kpf3) {
-                            for (int64_t c3 : cpf3) {
-                                setLayerFactors(module.get(), 1, k1, 1);
-                                setLayerFactors(module.get(), 2, k2, c2);
-                                setLayerFactors(module.get(), 3, k3, c3);
-                                partition->runOnModule(module.get());
-                                DesignQor qor = estimator.estimateFunc(func);
-                                Point point;
-                                point.util = qor.res.utilization(device);
-                                point.throughput =
-                                    qor.throughput(device) * batch;
-                                point.dataflow = dataflow;
-                                if (point.util <= 1.05)
-                                    points.push_back(point);
-                            }
-                        }
-                    }
-                }
+            std::vector<Point> results = ShardedSweep::run<Point>(
+                grid,
+                [&]() {
+                    auto w = std::make_shared<CloneSweepWorker>(
+                        module.get(),
+                        createArrayPartitionPass(partition_options), device);
+                    return [w, &grid, &device,
+                            batch](size_t, const std::vector<int64_t>& vals) {
+                        DesignQor qor = w->evaluate(grid, vals);
+                        Point point;
+                        point.util = qor.res.utilization(device);
+                        point.throughput = qor.throughput(device) * batch;
+                        return point;
+                    };
+                },
+                threads);
+
+            // Deterministic merge: grid order, same filter as the serial
+            // sweep.
+            for (Point& point : results) {
+                point.dataflow = dataflow;
+                if (point.util <= 1.05)
+                    points.push_back(point);
             }
         }
     }
@@ -169,10 +187,7 @@ main()
         setLayerFactors(module.get(), 1, 3, 1);
         setLayerFactors(module.get(), 2, 8, 3);
         setLayerFactors(module.get(), 3, 6, 8);
-        FuncOp func(nullptr);
-        for (Operation* op : module.get().body()->ops())
-            if (auto f = dynCast<FuncOp>(op))
-                func = f;
+        FuncOp func = topFunc(module.get());
         FlowOptions partition_options = options;
         partition_options.enableParallelization = true;
         createArrayPartitionPass(partition_options)->runOnModule(module.get());

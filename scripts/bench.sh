@@ -28,14 +28,35 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target bench_fig1_lenet_dse bench_compile_time
 
 # ---- DSE sweep: wall time over the fixed 24,000-point grid ----------------
+# Two timed runs: serial (HIDA_BENCH_THREADS=1, the machine-comparable
+# trajectory metric the regression gate normalizes on) and sharded
+# (HIDA_BENCH_THREADS when set, else all cores). The sweep's merge is
+# deterministic in grid order, so both runs must hash identically — a
+# mismatch is a sharding correctness bug and fails the script here.
 DSE_POINTS=24000
 DSE_OUT="$BUILD_DIR/bench_fig1_lenet_dse.out"
+HW_CONCURRENCY=$(nproc)
+THREADS="${HIDA_BENCH_THREADS:-$HW_CONCURRENCY}"
+
 start_ns=$(date +%s%N)
-"$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT"
+HIDA_BENCH_THREADS=1 "$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT.serial"
+end_ns=$(date +%s%N)
+serial_wall_s=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
+serial_pps=$(awk "BEGIN { printf \"%.1f\", $DSE_POINTS / $serial_wall_s }")
+serial_sha=$(sha256sum "$DSE_OUT.serial" | cut -d' ' -f1)
+
+start_ns=$(date +%s%N)
+HIDA_BENCH_THREADS="$THREADS" "$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT"
 end_ns=$(date +%s%N)
 wall_s=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
 pps=$(awk "BEGIN { printf \"%.1f\", $DSE_POINTS / $wall_s }")
 out_sha=$(sha256sum "$DSE_OUT" | cut -d' ' -f1)
+
+if [[ "$out_sha" != "$serial_sha" ]]; then
+    echo "FAIL: sharded sweep (threads=$THREADS) output drifted from the" \
+         "serial run ($serial_sha -> $out_sha)" >&2
+    exit 1
+fi
 
 cat > "$REPO_ROOT/BENCH_dse.json" <<EOF
 {
@@ -43,16 +64,26 @@ cat > "$REPO_ROOT/BENCH_dse.json" <<EOF
   "points": $DSE_POINTS,
   "wall_seconds": $wall_s,
   "points_per_sec": $pps,
+  "wall_seconds_serial": $serial_wall_s,
+  "points_per_sec_serial": $serial_pps,
+  "threads": $THREADS,
+  "hardware_concurrency": $HW_CONCURRENCY,
   "output_sha256": "$out_sha",
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "commit": "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 }
 EOF
-echo "DSE sweep: ${wall_s}s for $DSE_POINTS points (${pps} points/sec)"
+echo "DSE sweep: serial ${serial_wall_s}s (${serial_pps} pps)," \
+     "threads=$THREADS ${wall_s}s (${pps} pps), identical output"
 
 # ---- Pipeline compile-time microbenchmarks --------------------------------
 "$BUILD_DIR/bench_compile_time" \
     --benchmark_format=json \
     --benchmark_out="$REPO_ROOT/BENCH_compile_time.json" \
     --benchmark_out_format=json > /dev/null
+# Record the run's thread configuration here too (the microbenchmarks are
+# single-threaded, but consumers diffing the two files should see one
+# consistent machine description).
+sed -i "0,/{/s//{\n  \"threads\": $THREADS,\n  \"hardware_concurrency\": $HW_CONCURRENCY,/" \
+    "$REPO_ROOT/BENCH_compile_time.json"
 echo "Wrote BENCH_dse.json and BENCH_compile_time.json"

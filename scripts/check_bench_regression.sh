@@ -3,7 +3,11 @@
 #
 # Compares a freshly produced BENCH_dse.json (scripts/bench.sh output)
 # against a baseline and fails when either
-#   - points_per_sec dropped by more than MAX_SLOWDOWN_PCT (default 20%), or
+#   - serial-normalized throughput (points_per_sec_serial, falling back to
+#     points_per_sec for pre-sharding baselines) dropped by more than
+#     MAX_SLOWDOWN_PCT (default 20%) — the serial metric is compared so a
+#     runner with fewer cores than the baseline recorder cannot trip the
+#     gate via thread count alone, or
 #   - output_sha256 drifted (the sweep's Pareto/Table-2 output changed —
 #     a perf "win" that changes results is a correctness bug, not a win).
 #
@@ -32,11 +36,19 @@ json_field() {
     printf '%s\n' "$value"
 }
 
+# Serial-normalized throughput: points_per_sec_serial when the file has
+# it, else points_per_sec (baselines recorded before sweeps were sharded).
+serial_pps_field() {
+    local file="$1"
+    json_field "$file" points_per_sec_serial 2>/dev/null ||
+        json_field "$file" points_per_sec
+}
+
 compare() {
     local baseline="$1" fresh="$2"
     local base_pps fresh_pps base_sha fresh_sha
-    base_pps=$(json_field "$baseline" points_per_sec)
-    fresh_pps=$(json_field "$fresh" points_per_sec)
+    base_pps=$(serial_pps_field "$baseline")
+    fresh_pps=$(serial_pps_field "$fresh")
     base_sha=$(json_field "$baseline" output_sha256)
     fresh_sha=$(json_field "$fresh" output_sha256)
 
@@ -55,11 +67,11 @@ compare() {
     change=$(awk "BEGIN { printf \"%+.1f\", \
         ($fresh_pps - $base_pps) * 100 / $base_pps }")
     if [[ "$ok" != 1 ]]; then
-        echo "FAIL: points_per_sec regressed ${change}%" \
+        echo "FAIL: serial points/sec regressed ${change}%" \
              "($base_pps -> $fresh_pps, gate: -${MAX_SLOWDOWN_PCT}%)" >&2
         status=1
     else
-        echo "points_per_sec ${change}% ($base_pps -> $fresh_pps)," \
+        echo "serial points/sec ${change}% ($base_pps -> $fresh_pps)," \
              "within the -${MAX_SLOWDOWN_PCT}% gate"
     fi
     if [[ $status -eq 0 ]]; then
@@ -99,8 +111,28 @@ EOF
         echo "self-test: sha drift should fail" >&2
         pass=1
     fi
+    # A sharded fresh run on a smaller machine: parallel pps collapsed,
+    # serial pps held — the serial-normalized gate must pass against a
+    # pre-sharding baseline (which only has points_per_sec).
+    cat > "$dir/sharded.json" <<'EOF'
+{
+  "points_per_sec": 500.0,
+  "points_per_sec_serial": 980.0,
+  "threads": 1,
+  "output_sha256": "aaaa"
+}
+EOF
+    compare "$dir/base.json" "$dir/sharded.json" > /dev/null ||
+        { echo "self-test: serial-normalized run should pass" >&2; pass=1; }
+    # ...and a genuine serial regression in a sharded run must still fail.
+    sed 's/980.0/700.0/' "$dir/sharded.json" > "$dir/sharded_slow.json"
+    if compare "$dir/base.json" "$dir/sharded_slow.json" > /dev/null 2>&1
+    then
+        echo "self-test: serial regression should fail" >&2
+        pass=1
+    fi
     if [[ $pass -eq 0 ]]; then
-        echo "self-test: all 4 gate scenarios behave as expected"
+        echo "self-test: all 6 gate scenarios behave as expected"
     fi
     return $pass
 }

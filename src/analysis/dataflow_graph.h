@@ -32,8 +32,8 @@ struct DataflowEdge {
  * cached map lookups afterwards. The graph is plain value-semantic data
  * (copyable and movable), so clients that survive across IR edits — the
  * QoR estimator's per-schedule cache — can keep one around and
- * revalidate it against Operation::structureEpoch() instead of
- * rebuilding per query.
+ * revalidate it against the schedule tree's structure epoch
+ * (schedule.op()->structureEpoch()) instead of rebuilding per query.
  */
 class DataflowGraph {
   public:

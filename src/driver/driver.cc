@@ -75,6 +75,16 @@ scaleHlsSupports(ModuleOp module)
     return supported;
 }
 
+FuncOp
+topFunc(ModuleOp module)
+{
+    FuncOp func(nullptr);
+    for (Operation* op : *module.body())
+        if (auto f = dynCast<FuncOp>(op))
+            func = f;
+    return func;
+}
+
 CompileResult
 compile(ModuleOp module, const FlowOptions& options, const TargetDevice& device)
 {
@@ -101,10 +111,7 @@ compile(ModuleOp module, const FlowOptions& options, const TargetDevice& device)
     CompileResult result;
     result.compileSeconds = pm.totalSeconds();
 
-    FuncOp func(nullptr);
-    for (Operation* op : module.body()->ops())
-        if (auto f = dynCast<FuncOp>(op))
-            func = f;
+    FuncOp func = topFunc(module);
     HIDA_ASSERT(func, "module has no function to estimate");
 
     QorEstimator estimator(device);

@@ -49,8 +49,21 @@ struct CompileResult {
 };
 
 /**
+ * The module's top-level function (the last one, matching the lookup the
+ * benches and DSE workers perform on prototype modules and their clones).
+ * Null wrapper when the module has none.
+ */
+FuncOp topFunc(ModuleOp module);
+
+/**
  * Run the @p options pipeline on @p module in place and estimate QoR on
  * @p device. The module must contain one top-level function.
+ *
+ * Thread-safe for concurrent calls on *disjoint* modules: all process-
+ * wide state compile touches (identifier interner, type uniquer, op
+ * registry, attribute pools) is internally synchronized, and every pass
+ * and estimator it builds is private to the call. A sharded sweep may
+ * therefore run one compile per worker (see src/dse/sweep.h).
  */
 CompileResult compile(ModuleOp module, const FlowOptions& options,
                       const TargetDevice& device);

@@ -1,0 +1,107 @@
+#include "src/dse/grid.h"
+
+#include <algorithm>
+
+#include "src/dialect/affine/affine_ops.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+DesignPointGrid&
+DesignPointGrid::addAxis(std::string name, std::vector<int64_t> values)
+{
+    HIDA_ASSERT(!values.empty(), "axis ", name, " has no values");
+    GridAxis axis;
+    axis.name = std::move(name);
+    axis.values = std::move(values);
+    axes_.push_back(std::move(axis));
+    return *this;
+}
+
+DesignPointGrid&
+DesignPointGrid::addDirectiveAxis(std::string name,
+                                  std::vector<int64_t> values,
+                                  int64_t layer_seq, std::string_view loop_tag)
+{
+    HIDA_ASSERT(layer_seq >= 0, "directive axis needs a layer_seq");
+    addAxis(std::move(name), std::move(values));
+    axes_.back().layerSeq = layer_seq;
+    axes_.back().loopTag = Identifier::get(loop_tag);
+    return *this;
+}
+
+size_t
+DesignPointGrid::axisIndex(std::string_view name) const
+{
+    for (size_t i = 0; i < axes_.size(); ++i)
+        if (axes_[i].name == name)
+            return i;
+    HIDA_PANIC("unknown grid axis ", std::string(name));
+}
+
+size_t
+DesignPointGrid::size() const
+{
+    size_t n = 1;
+    for (const GridAxis& axis : axes_)
+        n *= axis.values.size();
+    return n;
+}
+
+void
+DesignPointGrid::decode(size_t index, std::vector<int64_t>& values) const
+{
+    HIDA_ASSERT(index < size(), "point index out of range");
+    values.resize(axes_.size());
+    for (size_t i = axes_.size(); i-- > 0;) {
+        const auto& axis_values = axes_[i].values;
+        values[i] = axis_values[index % axis_values.size()];
+        index /= axis_values.size();
+    }
+}
+
+std::vector<int64_t>
+DesignPointGrid::point(size_t index) const
+{
+    std::vector<int64_t> values;
+    decode(index, values);
+    return values;
+}
+
+namespace {
+
+/** Interned "layer_seq" key shared by every applyPoint walk. */
+Identifier
+layerSeqId()
+{
+    static const Identifier id = Identifier::get("layer_seq");
+    return id;
+}
+
+} // namespace
+
+void
+applyPoint(ModuleOp module, const DesignPointGrid& grid,
+           const std::vector<int64_t>& values)
+{
+    HIDA_ASSERT(values.size() == grid.numAxes(),
+                "point/grid axis count mismatch");
+    module.op()->walk([&](Operation* op) {
+        if (!isa<ForOp>(op))
+            return;
+        int64_t seq = op->intAttrOr(layerSeqId(), -1);
+        if (seq < 0)
+            return;
+        for (size_t i = 0; i < grid.numAxes(); ++i) {
+            const GridAxis& axis = grid.axis(i);
+            if (!axis.bound() || axis.layerSeq != seq ||
+                !op->hasAttr(axis.loopTag))
+                continue;
+            ForOp loop(op);
+            loop.setUnrollFactor(
+                std::min<int64_t>(values[i], loop.tripCount()));
+        }
+    });
+}
+
+} // namespace hida

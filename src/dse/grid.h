@@ -1,0 +1,93 @@
+#ifndef HIDA_DSE_GRID_H
+#define HIDA_DSE_GRID_H
+
+/**
+ * @file
+ * Design-point grids for the DSE engine: named axes of enumerated factor
+ * values, a deterministic row-major enumeration of every combination, and
+ * the applyPoint directive writer that maps a point onto the IR. The grid
+ * replaces the hand-rolled nested sweep loops of the Figure 1/10/11
+ * benches with one shared representation the sharded executor
+ * (src/dse/sweep.h) can split across worker threads while keeping the
+ * serial enumeration order for result merging.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/builtin_ops.h"
+#include "src/ir/identifier.h"
+
+namespace hida {
+
+/**
+ * One swept factor: a name and the values it enumerates. An axis may
+ * additionally carry a *directive binding* (layerSeq/loopTag): applyPoint
+ * then writes the axis value as the unroll factor of every tagged loop of
+ * that layer, clamped to the loop's trip count — the Table 1 KPF/CPF
+ * convention of the LeNet case study. Unbound axes (batch size, tile
+ * size, ablation arms...) are interpreted by the sweep's evaluation
+ * callback instead.
+ */
+struct GridAxis {
+    std::string name;
+    std::vector<int64_t> values;
+    /** Directive binding: "layer_seq" value the target loops carry. */
+    int64_t layerSeq = -1;
+    /** Directive binding: tag attribute of the target loops. */
+    Identifier loopTag;
+
+    bool bound() const { return layerSeq >= 0 && bool(loopTag); }
+};
+
+/**
+ * Cartesian grid over named axes. Points are enumerated row-major with
+ * axis 0 slowest (the nesting order of the serial loops the grid
+ * replaces), so shard boundaries and result merging are deterministic at
+ * any thread count.
+ */
+class DesignPointGrid {
+  public:
+    /** Append an unbound axis. Returns *this for chaining. */
+    DesignPointGrid& addAxis(std::string name, std::vector<int64_t> values);
+    /** Append a directive-bound axis (see GridAxis). */
+    DesignPointGrid& addDirectiveAxis(std::string name,
+                                      std::vector<int64_t> values,
+                                      int64_t layer_seq,
+                                      std::string_view loop_tag);
+
+    size_t numAxes() const { return axes_.size(); }
+    const GridAxis& axis(size_t i) const { return axes_.at(i); }
+    /** Index of the axis named @p name (asserts on unknown names). */
+    size_t axisIndex(std::string_view name) const;
+
+    /** Number of points (product of axis sizes; 1 for an empty grid). */
+    size_t size() const;
+
+    /**
+     * Decode linear @p index into per-axis values (axis 0 slowest).
+     * @p values is resized to numAxes().
+     */
+    void decode(size_t index, std::vector<int64_t>& values) const;
+    /** Allocating convenience wrapper around decode(). */
+    std::vector<int64_t> point(size_t index) const;
+
+  private:
+    std::vector<GridAxis> axes_;
+};
+
+/**
+ * Write the directive-bound axes of @p values into @p module: one walk
+ * that sets, for every ForOp tagged with a bound axis's loopTag under the
+ * axis's layer_seq, the unroll factor min(axis value, trip count).
+ * Equivalent to (and replacing) the per-layer setLayerFactors helpers of
+ * the serial benches, but a single traversal per point.
+ */
+void applyPoint(ModuleOp module, const DesignPointGrid& grid,
+                const std::vector<int64_t>& values);
+
+} // namespace hida
+
+#endif // HIDA_DSE_GRID_H

@@ -1,0 +1,60 @@
+#include "src/dse/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "src/ir/registry.h"
+
+namespace hida {
+
+void
+ShardedSweep::runShards(size_t num_points, const ShardFactory& factory,
+                        unsigned threads)
+{
+    if (num_points == 0)
+        return;
+    // Dialect registration mutates the process-wide OpRegistry; do it
+    // once up front so workers never race a first-compile registration.
+    registerAllDialects();
+    size_t workers = std::max(1u, threads);
+    workers = std::min(workers, num_points);
+    if (workers == 1) {
+        // Serial fast path: no thread spawn, same factory contract.
+        factory()(0, num_points);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        size_t begin = num_points * w / workers;
+        size_t end = num_points * (w + 1) / workers;
+        pool.emplace_back([&factory, begin, end]() {
+            // The factory runs here, on the worker thread, so clones,
+            // estimators and passes it creates are owned by this thread.
+            factory()(begin, end);
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+}
+
+unsigned
+dseHardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
+dseThreadCount()
+{
+    if (const char* env = std::getenv("HIDA_BENCH_THREADS")) {
+        int parsed = std::atoi(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    return dseHardwareConcurrency();
+}
+
+} // namespace hida

@@ -1,0 +1,140 @@
+#ifndef HIDA_DSE_SWEEP_H
+#define HIDA_DSE_SWEEP_H
+
+/**
+ * @file
+ * Sharded sweep executor: evaluates every point of a DesignPointGrid
+ * across worker threads and merges the per-point results in grid order,
+ * so the output is bit-identical to a serial sweep at any thread count.
+ *
+ * Sharing rules (see ROADMAP "Threading model"): workers share only the
+ * internally synchronized process-wide tables (identifier interner, type
+ * uniquer, attribute pools, op registry). Everything mutable is
+ * per-worker by construction: the worker factory runs *on the worker
+ * thread* and typically deep-clones the pre-lowered prototype module
+ * (OwnedModule::clone), builds its own QorEstimator (all caches
+ * thread-local by ownership) and its own passes. Results land in
+ * disjoint slots of one preallocated vector indexed by grid order —
+ * merging is a no-op and deterministic.
+ *
+ * Shards are contiguous index ranges: neighboring points differ in the
+ * fastest axes only, which keeps each worker's directive-fingerprint
+ * memo hot exactly like the serial sweep it replaces.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/driver/driver.h"
+#include "src/dse/grid.h"
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+/**
+ * The canonical worker-local state of a clone-the-prototype sweep (the
+ * Figure 1 shape: one pre-lowered module, per-point directive rewrites):
+ * a private deep clone of the prototype, its top function, the per-point
+ * directive pass, and a private estimator whose caches warm up over the
+ * worker's shard. Construct inside a ShardedSweep worker factory — i.e.
+ * on the worker thread — so every member is owned by that thread.
+ */
+struct CloneSweepWorker {
+    OwnedModule module;
+    FuncOp func;
+    std::unique_ptr<Pass> perPointPass;
+    QorEstimator estimator;
+
+    CloneSweepWorker(ModuleOp prototype, std::unique_ptr<Pass> per_point_pass,
+                     const TargetDevice& device)
+        : module(OwnedModule::clone(prototype)), func(topFunc(module.get())),
+          perPointPass(std::move(per_point_pass)), estimator(device)
+    {
+        HIDA_ASSERT(func, "sweep prototype has no function to estimate");
+    }
+
+    /** applyPoint + per-point pass + estimate, on the worker's clone. */
+    DesignQor
+    evaluate(const DesignPointGrid& grid, const std::vector<int64_t>& values)
+    {
+        applyPoint(module.get(), grid, values);
+        perPointPass->runOnModule(module.get());
+        return estimator.estimateFunc(func);
+    }
+};
+
+/**
+ * Evaluates grid points through worker-local evaluation functions.
+ * Non-template core (shard math, thread lifecycle) lives in sweep.cc;
+ * the typed run() adapter stores results by point index.
+ */
+class ShardedSweep {
+  public:
+    /** Worker-bound evaluation of the contiguous points [begin, end). */
+    using ShardFn = std::function<void(size_t begin, size_t end)>;
+    /**
+     * Called once per worker on that worker's thread; returns the
+     * shard evaluator bound to the worker-local state it sets up.
+     */
+    using ShardFactory = std::function<ShardFn()>;
+
+    /**
+     * Split [0, num_points) into @p threads contiguous shards and run
+     * them concurrently (inline, spawning no thread, when one worker
+     * suffices). Worker w evaluates [w*n/T, (w+1)*n/T) — deterministic
+     * boundaries, no work stealing, so a point's evaluation history
+     * (and therefore any history-sensitive caching) depends only on its
+     * shard, never on timing. Panics in a worker abort the process (the
+     * same contract as the serial sweep).
+     */
+    static void runShards(size_t num_points, const ShardFactory& factory,
+                          unsigned threads);
+
+    /**
+     * Evaluate every point of @p grid. @p factory runs once per worker
+     * on the worker thread and returns the per-point evaluator; results
+     * are returned in grid order regardless of @p threads.
+     */
+    template <typename R>
+    static std::vector<R>
+    run(const DesignPointGrid& grid,
+        const std::function<std::function<R(size_t index,
+                                            const std::vector<int64_t>&)>()>&
+            factory,
+        unsigned threads)
+    {
+        std::vector<R> results(grid.size());
+        runShards(
+            grid.size(),
+            [&]() -> ShardFn {
+                auto evaluate = factory();
+                return [&results, &grid,
+                        evaluate = std::move(evaluate)](size_t begin,
+                                                        size_t end) {
+                    std::vector<int64_t> values;
+                    for (size_t i = begin; i < end; ++i) {
+                        grid.decode(i, values);
+                        results[i] = evaluate(i, values);
+                    }
+                };
+            },
+            threads);
+        return results;
+    }
+};
+
+/**
+ * Worker count for benchmark sweeps: HIDA_BENCH_THREADS when set to a
+ * positive integer, else std::thread::hardware_concurrency() (min 1).
+ * Output must never depend on this — the sweep merges in grid order.
+ */
+unsigned dseThreadCount();
+
+/** std::thread::hardware_concurrency(), floored at 1. */
+unsigned dseHardwareConcurrency();
+
+} // namespace hida
+
+#endif // HIDA_DSE_SWEEP_H

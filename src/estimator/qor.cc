@@ -73,7 +73,7 @@ QorEstimator::directiveFingerprint(Operation* root)
     // purely structural — cache it per root until any structural IR
     // mutation.
     FingerprintSites& sites = fpSites_[root];
-    if (sites.epoch != Operation::structureEpoch()) {
+    if (sites.epoch != root->structureEpoch()) {
         sites.memrefs.clear();
         sites.hasNestedSchedule = false;
         root->walk([&](Operation* op) {
@@ -83,7 +83,7 @@ QorEstimator::directiveFingerprint(Operation* root)
                 if (operand->type().isMemRef())
                     sites.memrefs.push_back(operand);
         }, WalkOrder::kPreOrder);
-        sites.epoch = Operation::structureEpoch();
+        sites.epoch = root->structureEpoch();
     }
     // Hierarchical subtrees embed a nested schedule's frame simulation,
     // which reacts to channel depths — their fingerprints must see the
@@ -682,7 +682,7 @@ void
 QorEstimator::rebuildScheduleEntry(ScheduleOp schedule,
                                    ScheduleCacheEntry& entry)
 {
-    entry.epoch = Operation::structureEpoch();
+    entry.epoch = schedule.op()->structureEpoch();
     DataflowGraph graph(schedule);
 
     entry.nodes.clear();
@@ -765,7 +765,7 @@ QorEstimator::estimateSchedule(ScheduleOp schedule)
     // survives the recursive estimateSchedule calls nested node bodies
     // can trigger through estimateNodeWithFp.
     ScheduleCacheEntry& entry = scheduleCache_[schedule.op()];
-    bool structural = entry.epoch != Operation::structureEpoch();
+    bool structural = entry.epoch != schedule.op()->structureEpoch();
     if (!structural)
         structural = scheduleTopologyKey(entry.nodes) != entry.topologyKey;
     if (structural) {

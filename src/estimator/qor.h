@@ -49,8 +49,9 @@ struct DesignQor {
 /**
  * Hit/miss counters of the per-node QoR memo cache, the schedule-level
  * graph/simulation cache, plus the reuse counters of the underlying
- * subtree-hash cache (the latter two are process-wide, mirrored from
- * Operation::subtreeHashStats).
+ * subtree-hash cache (the latter two are per-thread, mirrored from
+ * Operation::subtreeHashStats — a sharded-DSE worker estimating on its
+ * own thread sees exactly its own module's reuse).
  */
 struct QorCacheStats {
     uint64_t hits = 0;            ///< Memoized estimates returned.
@@ -92,6 +93,13 @@ struct QorCacheStats {
  * across unrelated modules whose operations could alias in memory;
  * create one estimator per design (as the driver and benches do) or call
  * invalidateCache() between designs.
+ *
+ * Threading model: an estimator is single-threaded by construction —
+ * every cache lives in the estimator object, so a sharded DSE runs one
+ * estimator per worker on that worker's private module clone (see
+ * src/dse/sweep.h) and never shares one across threads. The IR state an
+ * estimate reads (subtree hashes, structure epochs) is likewise confined
+ * to the worker's module tree.
  */
 class QorEstimator {
   public:

@@ -17,6 +17,8 @@
 #include "src/dialect/memref/memref_ops.h"
 #include "src/dialect/nn/nn_ops.h"
 #include "src/driver/driver.h"
+#include "src/dse/grid.h"
+#include "src/dse/sweep.h"
 #include "src/emitter/hls_emitter.h"
 #include "src/estimator/qor.h"
 #include "src/frontend/loop_builder.h"

@@ -28,21 +28,56 @@ SemiAffineMap::str() const
     return os.str();
 }
 
+namespace {
+
+/** Pooled small integers: DSE directive factors land in this range, so a
+ * setIntAttr on the sweep hot path is a table read, not an allocation, and
+ * equality of two pooled values is a pointer compare. Initialized once via
+ * a thread-safe magic static; reads are lock-free. */
+constexpr int64_t kIntPoolMin = -16;
+constexpr int64_t kIntPoolMax = 1024;
+
+std::shared_ptr<const AttrStorage>
+makeIntStorage(int64_t value)
+{
+    auto s = std::make_shared<AttrStorage>();
+    s->kind = AttrKind::kInt;
+    s->intValue = value;
+    return s;
+}
+
+const std::vector<std::shared_ptr<const AttrStorage>>&
+intPool()
+{
+    static const std::vector<std::shared_ptr<const AttrStorage>> pool = [] {
+        std::vector<std::shared_ptr<const AttrStorage>> p;
+        p.reserve(kIntPoolMax - kIntPoolMin + 1);
+        for (int64_t v = kIntPoolMin; v <= kIntPoolMax; ++v)
+            p.push_back(makeIntStorage(v));
+        return p;
+    }();
+    return pool;
+}
+
+} // namespace
+
 Attribute
 Attribute::unit()
 {
-    auto s = std::make_shared<AttrStorage>();
-    s->kind = AttrKind::kUnit;
-    return Attribute(std::move(s));
+    static const Attribute singleton = [] {
+        auto s = std::make_shared<AttrStorage>();
+        s->kind = AttrKind::kUnit;
+        return Attribute(std::move(s));
+    }();
+    return singleton;
 }
 
 Attribute
 Attribute::integer(int64_t value)
 {
-    auto s = std::make_shared<AttrStorage>();
-    s->kind = AttrKind::kInt;
-    s->intValue = value;
-    return Attribute(std::move(s));
+    if (value >= kIntPoolMin && value <= kIntPoolMax)
+        return Attribute(intPool()[value - kIntPoolMin]);
+    return Attribute(makeIntStorage(value));
 }
 
 Attribute
@@ -115,7 +150,9 @@ Attribute::operator==(const Attribute& other) const
     // hashes that differ prove inequality without a deep compare (the
     // common case in Operation::setAttr's changed-value check on the DSE
     // hot path, where array attrs would otherwise compare element-wise).
-    if (a.hashCache != 0 && b.hashCache != 0 && a.hashCache != b.hashCache)
+    uint64_t ha = a.hashCache.load(std::memory_order_relaxed);
+    uint64_t hb = b.hashCache.load(std::memory_order_relaxed);
+    if (ha != 0 && hb != 0 && ha != hb)
         return false;
     switch (a.kind) {
       case AttrKind::kUnit:
@@ -203,8 +240,9 @@ Attribute::hash() const
     if (!impl_)
         return 0;
     const AttrStorage& s = *impl_;
-    if (s.hashCache != 0)
-        return s.hashCache;
+    uint64_t cached = s.hashCache.load(std::memory_order_relaxed);
+    if (cached != 0)
+        return cached;
     uint64_t h = hashMix(static_cast<uint64_t>(s.kind) + 1);
     switch (s.kind) {
       case AttrKind::kUnit:
@@ -235,8 +273,11 @@ Attribute::hash() const
             h = hashCombine(h, std::bit_cast<uint64_t>(f == 0.0 ? 0.0 : f));
         break;
     }
-    s.hashCache = h == 0 ? 1 : h;  // reserve 0 for "not computed"
-    return s.hashCache;
+    if (h == 0)
+        h = 1;  // reserve 0 for "not computed"
+    // Concurrent fillers compute the same structural value; last store wins.
+    s.hashCache.store(h, std::memory_order_relaxed);
+    return h;
 }
 
 std::string

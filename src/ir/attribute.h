@@ -4,9 +4,16 @@
 /**
  * @file
  * Compile-time-constant attributes attached to operations. Value-semantic
- * handles with structural equality, mirroring mlir::Attribute.
+ * handles with structural equality, mirroring mlir::Attribute. Storage is
+ * immutable apart from the lazily computed structural hash, which is
+ * atomic so handles may be shared across concurrently compiling threads
+ * (e.g. between a module and its worker-thread deep clones). Unit and
+ * small-integer attributes are pooled process-wide, which both removes
+ * the per-directive allocation from the DSE hot path and lets equality
+ * short-circuit on the storage pointer.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -55,8 +62,12 @@ struct AttrStorage {
     Type typeValue;
     std::vector<Attribute> arrayValue;
     SemiAffineMap mapValue;
-    /** Lazily computed structural hash (0 = not yet computed). */
-    mutable uint64_t hashCache = 0;
+    /**
+     * Lazily computed structural hash (0 = not yet computed). Atomic so
+     * threads sharing pooled/cloned storage may race to fill it (both
+     * compute the same structural value; relaxed ordering suffices).
+     */
+    mutable std::atomic<uint64_t> hashCache{0};
 };
 
 /** Value-semantic attribute handle; default-constructed handles are null. */

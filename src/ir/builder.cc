@@ -62,7 +62,7 @@ OpBuilder::insert(Operation* op)
     // The inserted op's own cache starts dirty; the enclosing chain gained
     // a child and must re-hash.
     Operation::dirtyAncestors(block_);
-    Operation::bumpStructureEpoch();
+    op->bumpStructureEpoch();
     return op;
 }
 

@@ -26,6 +26,13 @@ ModuleOp::lookupFunc(const std::string& name) const
 
 OwnedModule::OwnedModule() : op_(ModuleOp::create().op()) {}
 
+OwnedModule
+OwnedModule::clone(ModuleOp module)
+{
+    ValueMapping mapping;
+    return OwnedModule(module.op()->clone(mapping));
+}
+
 OwnedModule::~OwnedModule()
 {
     if (op_ != nullptr) {

@@ -41,10 +41,23 @@ class OwnedModule {
     OwnedModule(const OwnedModule&) = delete;
     OwnedModule& operator=(const OwnedModule&) = delete;
 
+    /**
+     * Deep-clone @p module into a freshly owned tree (the sharded-DSE
+     * worker setup: one private copy per worker). A module is closed
+     * under its own values, so cloning only *reads* the prototype —
+     * several workers may clone the same prototype concurrently. Type
+     * and attribute storage is shared with the prototype (immutable
+     * apart from atomic hash caches); operations, values, and use lists
+     * are fully private to the clone.
+     */
+    static OwnedModule clone(ModuleOp module);
+
     ModuleOp get() const { return ModuleOp(op_); }
     ModuleOp operator*() const { return get(); }
 
   private:
+    explicit OwnedModule(Operation* op) : op_(op) {}
+
     Operation* op_ = nullptr;
 };
 

@@ -1,28 +1,41 @@
 #include "src/ir/identifier.h"
 
-#include <deque>
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
+
+#include "src/support/diagnostics.h"
 
 namespace hida {
 
 namespace {
 
 /**
- * Process-wide intern table. Strings are stored in a deque so their
- * addresses stay stable as the table grows; the index map keys are views
- * into that storage. Slot 0 is reserved for the null identifier.
+ * Process-wide intern table, safe for concurrent compilations.
+ *
+ * Interning takes a mutex; reads (str()/dialect()) are lock-free. Entries
+ * live in fixed-size chunks that are allocated once and never moved, so a
+ * published id can be dereferenced without synchronization: the chunk
+ * pointer is published with release ordering after its entry is fully
+ * constructed, and an id only escapes the interning mutex after its entry
+ * is written. Slot 0 is reserved for the null identifier.
  */
-struct Interner {
-    std::deque<std::string> strings;
-    std::vector<uint32_t> dialects;  ///< Dialect-prefix id per interned id.
-    std::unordered_map<std::string_view, uint32_t> index;
+constexpr uint32_t kChunkSize = 1024;
+constexpr uint32_t kMaxChunks = 4096;  ///< 4M identifiers, far above need.
 
-    Interner()
-    {
-        strings.emplace_back();
-        dialects.push_back(0);
-    }
+struct Entry {
+    std::string str;
+    uint32_t dialect = 0;  ///< Dialect-prefix id, precomputed at intern time.
+};
+
+struct Interner {
+    std::mutex mutex;
+    /** string -> id; keys are views into chunk-owned strings (stable). */
+    std::unordered_map<std::string_view, uint32_t> index;
+    std::atomic<Entry*> chunks[kMaxChunks] = {};
+    uint32_t size = 1;  ///< Next free id; guarded by mutex.
+
+    Interner() { chunks[0].store(new Entry[kChunkSize]); }
 };
 
 Interner&
@@ -32,22 +45,47 @@ interner()
     return table;
 }
 
-uint32_t
-internImpl(std::string_view str)
+/** Entry of an already-interned id; lock-free. */
+const Entry&
+entryOf(uint32_t id)
 {
-    Interner& table = interner();
+    Entry* chunk =
+        interner().chunks[id / kChunkSize].load(std::memory_order_acquire);
+    return chunk[id % kChunkSize];
+}
+
+/** Intern @p str with @p table.mutex already held. */
+uint32_t
+internLocked(Interner& table, std::string_view str)
+{
     if (auto it = table.index.find(str); it != table.index.end())
         return it->second;
-    table.strings.emplace_back(str);
-    uint32_t id = static_cast<uint32_t>(table.strings.size() - 1);
-    table.index.emplace(table.strings.back(), id);
-    table.dialects.push_back(id);
-    auto dot = str.find('.');
-    if (dot != std::string_view::npos) {
-        // May grow the table; re-index instead of holding references.
-        uint32_t dialect_id = internImpl(str.substr(0, dot));
-        interner().dialects[id] = dialect_id;
-    }
+    uint32_t id = table.size;
+    HIDA_ASSERT(id < kChunkSize * kMaxChunks, "intern table full");
+    // Claim the id, then intern the dialect prefix (which takes the next
+    // id, preserving the historical numbering) before this entry is
+    // constructed: the entry must be complete before a fresh chunk
+    // pointer is release-published below.
+    table.size = id + 1;
+    uint32_t dialect_id = id;  // identifiers without '.' are their own
+    if (auto dot = str.find('.'); dot != std::string_view::npos)
+        dialect_id = internLocked(table, str.substr(0, dot));
+    uint32_t chunk_idx = id / kChunkSize;
+    Entry* chunk = table.chunks[chunk_idx].load(std::memory_order_relaxed);
+    bool fresh_chunk = chunk == nullptr;
+    if (fresh_chunk)
+        chunk = new Entry[kChunkSize];
+    Entry& entry = chunk[id % kChunkSize];
+    entry.str = std::string(str);
+    entry.dialect = dialect_id;
+    // Publish only fully constructed state: a fresh chunk pointer is
+    // stored after its first entry is written (entryOf's acquire load
+    // then sees complete entries); entries added to an already-published
+    // chunk are ordered by the id handoff itself (the id escapes this
+    // mutex only after the writes above).
+    if (fresh_chunk)
+        table.chunks[chunk_idx].store(chunk, std::memory_order_release);
+    table.index.emplace(entry.str, id);
     return id;
 }
 
@@ -56,19 +94,21 @@ internImpl(std::string_view str)
 Identifier
 Identifier::get(std::string_view str)
 {
-    return Identifier(internImpl(str));
+    Interner& table = interner();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    return Identifier(internLocked(table, str));
 }
 
 const std::string&
 Identifier::str() const
 {
-    return interner().strings[id_];
+    return entryOf(id_).str;
 }
 
 Identifier
 Identifier::dialect() const
 {
-    return Identifier(interner().dialects[id_]);
+    return Identifier(entryOf(id_).dialect);
 }
 
 } // namespace hida

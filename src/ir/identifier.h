@@ -10,8 +10,11 @@
  * std::string comparisons. Interned strings live for the process lifetime,
  * which lets `str()` hand out stable references.
  *
- * Like the rest of the IR kernel (OpRegistry, use-def bookkeeping), the
- * interner assumes single-threaded compilation.
+ * The interner is shared by every compilation in the process and is safe
+ * for concurrent use: interning takes a mutex, while str()/dialect() reads
+ * and the per-type opNameId<OpT>() caches are lock-free after first use.
+ * Everything mutable in the IR (operations, use-def bookkeeping) remains
+ * single-owner: concurrent compilations must work on disjoint modules.
  */
 
 #include <cstdint>

@@ -1,6 +1,8 @@
 #include "src/ir/operation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "src/support/diagnostics.h"
 #include "src/support/utils.h"
@@ -9,18 +11,64 @@ namespace hida {
 
 namespace {
 
-/** Global structure epoch (single-threaded IR kernel, like the interner). */
-uint64_t g_structure_epoch = 0;
+/**
+ * Source of structure-epoch values. Epochs live per tree (on the root
+ * operation) so concurrent compilations never invalidate each other's
+ * structure caches, but the *values* are drawn from one process-wide
+ * atomic counter: a value can never repeat, so a cached epoch that still
+ * compares equal proves its tree is untouched even if a subtree was
+ * re-rooted into a different tree in between.
+ */
+std::atomic<uint64_t> g_epoch_source{0};
 
-/** Process-wide subtree-hash reuse counters. */
-SubtreeHashStats g_subtree_hash_stats;
+uint64_t
+nextStructureEpoch()
+{
+    return g_epoch_source.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
-/** Attribute keys excluded from subtree hashing (append-only). */
-std::vector<Identifier>&
+/** Per-thread subtree-hash reuse counters (see SubtreeHashStats). */
+thread_local SubtreeHashStats t_subtree_hash_stats;
+
+/**
+ * Attribute keys excluded from subtree hashing. Append-only and tiny;
+ * reads (every setAttr/removeAttr and hash fold, on every thread) are
+ * lock-free scans over a fixed array, appends take a mutex. Pre-seeded
+ * with "ii": the estimator writes it back as an output.
+ */
+struct HashExemptKeys {
+    static constexpr size_t kMax = 16;
+    std::mutex mutex;
+    std::atomic<uint32_t> keys[kMax] = {};
+    std::atomic<size_t> count{0};
+
+    HashExemptKeys() { add(Identifier::get("ii")); }
+
+    bool contains(uint32_t raw) const
+    {
+        size_t n = count.load(std::memory_order_acquire);
+        for (size_t i = 0; i < n; ++i)
+            if (keys[i].load(std::memory_order_relaxed) == raw)
+                return true;
+        return false;
+    }
+
+    void add(Identifier key)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (contains(key.raw()))
+            return;
+        size_t n = count.load(std::memory_order_relaxed);
+        HIDA_ASSERT(n < kMax, "too many hash-exempt attribute keys");
+        keys[n].store(key.raw(), std::memory_order_relaxed);
+        count.store(n + 1, std::memory_order_release);
+    }
+};
+
+HashExemptKeys&
 hashExemptKeys()
 {
-    // Pre-seeded with "ii": the estimator writes it back as an output.
-    static std::vector<Identifier> keys = {Identifier::get("ii")};
+    static HashExemptKeys keys;
     return keys;
 }
 
@@ -41,11 +89,16 @@ Value::setType(Type type)
     Operation* owner =
         definingOp_ ? definingOp_ : (ownerBlock_ ? ownerBlock_->parentOp()
                                                  : nullptr);
-    if (owner != nullptr)
+    if (owner != nullptr) {
         owner->invalidateSubtreeHash();
-    for (const auto& [op, idx] : uses_)
+        owner->bumpStructureEpoch();
+    }
+    for (const auto& [op, idx] : uses_) {
         op->invalidateSubtreeHash();
-    Operation::bumpStructureEpoch();
+        // Users normally share the owner's tree; bumping each is cheap
+        // and keeps detached-construction edge cases correct.
+        op->bumpStructureEpoch();
+    }
 }
 
 std::vector<Operation*>
@@ -103,9 +156,10 @@ Block*
 Region::addBlock()
 {
     blocks_.push_back(std::make_unique<Block>(this));
-    if (parentOp_ != nullptr)
+    if (parentOp_ != nullptr) {
         parentOp_->invalidateSubtreeHash();
-    Operation::bumpStructureEpoch();
+        parentOp_->bumpStructureEpoch();
+    }
     return blocks_.back().get();
 }
 
@@ -133,9 +187,10 @@ Block::addArgument(Type type, std::string name_hint)
     args_.push_back(std::unique_ptr<Value>(
         new Value(type, nullptr, this, static_cast<unsigned>(args_.size()))));
     args_.back()->setNameHint(std::move(name_hint));
-    if (Operation* parent = parentOp())
+    if (Operation* parent = parentOp()) {
         parent->invalidateSubtreeHash();
-    Operation::bumpStructureEpoch();
+        parent->bumpStructureEpoch();
+    }
     return args_.back().get();
 }
 
@@ -157,9 +212,10 @@ Block::eraseArgument(unsigned i)
     args_.erase(args_.begin() + i);
     for (unsigned j = i; j < args_.size(); ++j)
         args_[j]->index_ = j;
-    if (Operation* parent = parentOp())
+    if (Operation* parent = parentOp()) {
         parent->invalidateSubtreeHash();
-    Operation::bumpStructureEpoch();
+        parent->bumpStructureEpoch();
+    }
 }
 
 std::vector<Operation*>
@@ -326,10 +382,10 @@ uint64_t
 Operation::subtreeHash() const
 {
     if (subtreeHashValid_) {
-        ++g_subtree_hash_stats.cacheHits;
+        ++t_subtree_hash_stats.cacheHits;
         return subtreeHash_;
     }
-    ++g_subtree_hash_stats.recomputes;
+    ++t_subtree_hash_stats.recomputes;
     uint64_t h = hashMix(nameId_.raw());
     h = hashCombine(h, operands_.size());
     for (Value* operand : operands_)
@@ -390,39 +446,59 @@ Operation::dirtyAncestors(Block* block)
 bool
 Operation::isAttrHashExempt(Identifier key)
 {
-    const auto& keys = hashExemptKeys();
-    return std::find(keys.begin(), keys.end(), key) != keys.end();
+    return hashExemptKeys().contains(key.raw());
 }
 
 void
 Operation::addAttrHashExempt(Identifier key)
 {
-    if (!isAttrHashExempt(key))
-        hashExemptKeys().push_back(key);
+    hashExemptKeys().add(key);
+}
+
+Operation*
+Operation::rootOp()
+{
+    Operation* op = this;
+    while (Operation* parent = op->parentOp())
+        op = parent;
+    return op;
+}
+
+const Operation*
+Operation::rootOp() const
+{
+    return const_cast<Operation*>(this)->rootOp();
 }
 
 uint64_t
-Operation::structureEpoch()
+Operation::structureEpoch() const
 {
-    return g_structure_epoch;
+    return rootOp()->rootEpoch_;
 }
 
 void
 Operation::bumpStructureEpoch()
 {
-    ++g_structure_epoch;
+    rootOp()->rootEpoch_ = nextStructureEpoch();
+}
+
+void
+Operation::bumpStructureEpoch(Block* block)
+{
+    if (Operation* parent = block != nullptr ? block->parentOp() : nullptr)
+        parent->bumpStructureEpoch();
 }
 
 const SubtreeHashStats&
 Operation::subtreeHashStats()
 {
-    return g_subtree_hash_stats;
+    return t_subtree_hash_stats;
 }
 
 void
 Operation::resetSubtreeHashStats()
 {
-    g_subtree_hash_stats = SubtreeHashStats();
+    t_subtree_hash_stats = SubtreeHashStats();
 }
 
 namespace {
@@ -564,10 +640,11 @@ Operation::moveBefore(Operation* other)
     // both the old and the new parent chain lose a/gain a child.
     Block* dest = other->block_;
     dirtyAncestors(block_);
+    bumpStructureEpoch(block_);
     dest->ops_.splice(other->selfIt_, block_->ops_, selfIt_);
     block_ = dest;
     dirtyAncestors(dest);
-    bumpStructureEpoch();
+    bumpStructureEpoch(dest);
 }
 
 void
@@ -577,10 +654,11 @@ Operation::moveAfter(Operation* other)
                 "moveAfter requires attached ops");
     Block* dest = other->block_;
     dirtyAncestors(block_);
+    bumpStructureEpoch(block_);
     dest->ops_.splice(std::next(other->selfIt_), block_->ops_, selfIt_);
     block_ = dest;
     dirtyAncestors(dest);
-    bumpStructureEpoch();
+    bumpStructureEpoch(dest);
 }
 
 void
@@ -588,10 +666,11 @@ Operation::moveToEnd(Block* block)
 {
     HIDA_ASSERT(block_ != nullptr, "detached op");
     dirtyAncestors(block_);
+    bumpStructureEpoch(block_);
     block->ops_.splice(block->ops_.end(), block_->ops_, selfIt_);
     block_ = block;
     dirtyAncestors(block);
-    bumpStructureEpoch();
+    bumpStructureEpoch(block);
 }
 
 void
@@ -599,10 +678,11 @@ Operation::moveToFront(Block* block)
 {
     HIDA_ASSERT(block_ != nullptr, "detached op");
     dirtyAncestors(block_);
+    bumpStructureEpoch(block_);
     block->ops_.splice(block->ops_.begin(), block_->ops_, selfIt_);
     block_ = block;
     dirtyAncestors(block);
-    bumpStructureEpoch();
+    bumpStructureEpoch(block);
 }
 
 void
@@ -615,7 +695,7 @@ Operation::erase()
     Block* block = block_;
     block_ = nullptr;
     dirtyAncestors(block);
-    bumpStructureEpoch();
+    bumpStructureEpoch(block);
     block->ops_.erase(selfIt_); // deletes this
 }
 

@@ -32,9 +32,11 @@ class Operation;
 class Region;
 
 /**
- * Process-wide counters of the per-operation subtree-fingerprint cache
+ * Per-thread counters of the per-operation subtree-fingerprint cache
  * (see Operation::subtreeHash): how often a cached hash was reused versus
- * how many operations had to be re-hashed after an invalidation.
+ * how many operations had to be re-hashed after an invalidation. Kept
+ * thread-local so concurrent DSE workers each observe exactly the reuse
+ * of their own module without cross-thread noise (or contention).
  */
 struct SubtreeHashStats {
     uint64_t cacheHits = 0;   ///< subtreeHash() calls served from the cache.
@@ -390,15 +392,25 @@ class Operation {
     static void addAttrHashExempt(Identifier key);
 
     /**
-     * Monotonic counter bumped on every *structural* mutation anywhere in
-     * the process (op insert/move/erase, operand edits, block/region/
-     * argument growth, value retyping) — attribute writes do not bump it.
-     * Lets clients cache structure-derived data (e.g. the estimator's
-     * memref access-site lists) and revalidate with one compare.
+     * Structure epoch of the tree this op lives in, stored on the tree's
+     * root operation and changed on every *structural* mutation within
+     * that tree (op insert/move/erase, operand edits, block/region/
+     * argument growth, value retyping) — attribute writes do not change
+     * it. Lets clients cache structure-derived data (e.g. the estimator's
+     * memref access-site lists) and revalidate with one compare, and
+     * keeps concurrent compilations isolated: one worker's mutations
+     * never move another worker's epoch. Epoch values are drawn from a
+     * process-wide atomic counter, so a value can never repeat — not
+     * even across different trees — and a cached epoch that still
+     * matches proves the tree is structurally untouched.
      */
-    static uint64_t structureEpoch();
+    uint64_t structureEpoch() const;
 
-    /** Process-wide hash-cache reuse counters (see SubtreeHashStats). */
+    /** Root of the tree this op lives in (itself when detached). */
+    Operation* rootOp();
+    const Operation* rootOp() const;
+
+    /** Per-thread hash-cache reuse counters (see SubtreeHashStats). */
     static const SubtreeHashStats& subtreeHashStats();
     static void resetSubtreeHashStats();
     /** @} */
@@ -438,8 +450,10 @@ class Operation {
 
     /** Dirty the hash cache of @p block's parent chain (not its ops). */
     static void dirtyAncestors(Block* block);
-    /** Bump the global structure epoch (see structureEpoch). */
-    static void bumpStructureEpoch();
+    /** Move this op's tree to a fresh epoch (see structureEpoch). */
+    void bumpStructureEpoch();
+    /** bumpStructureEpoch for the tree owning @p block (null-tolerant). */
+    static void bumpStructureEpoch(Block* block);
 
     Identifier nameId_;
     std::vector<Value*> operands_;
@@ -453,6 +467,8 @@ class Operation {
     /** Cached subtree hash; valid only while subtreeHashValid_ holds. */
     mutable uint64_t subtreeHash_ = 0;
     mutable bool subtreeHashValid_ = false;
+    /** Structure epoch of this tree; meaningful on root ops only. */
+    uint64_t rootEpoch_ = 0;
 };
 
 /**

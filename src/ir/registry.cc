@@ -1,5 +1,7 @@
 #include "src/ir/registry.h"
 
+#include <mutex>
+
 namespace hida {
 
 OpRegistry&
@@ -12,12 +14,18 @@ OpRegistry::instance()
 void
 OpRegistry::registerOp(const std::string& name, OpInfo info)
 {
-    ops_[name] = std::move(info);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    // First registration wins: re-registering must not mutate an entry in
+    // place, because lookup() hands out raw OpInfo pointers that clients
+    // dereference after dropping the shared lock — the append-only map is
+    // what keeps those pointers valid.
+    ops_.try_emplace(name, std::move(info));
 }
 
 const OpInfo*
 OpRegistry::lookup(const std::string& name) const
 {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = ops_.find(name);
     return it == ops_.end() ? nullptr : &it->second;
 }

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -29,7 +30,12 @@ struct OpInfo {
     std::function<std::optional<std::string>(Operation*)> verify;
 };
 
-/** Process-wide op registry (compiler metadata, not program state). */
+/**
+ * Process-wide op registry (compiler metadata, not program state).
+ * Thread-safe: registration takes an exclusive lock, lookups a shared
+ * one. Returned OpInfo pointers stay valid because entries are never
+ * erased (the map is append-only and node-based).
+ */
 class OpRegistry {
   public:
     static OpRegistry& instance();
@@ -40,6 +46,7 @@ class OpRegistry {
 
   private:
     OpRegistry() = default;
+    mutable std::shared_mutex mutex_;
     std::unordered_map<std::string, OpInfo> ops_;
 };
 

@@ -1,90 +1,14 @@
 #include "src/ir/type.h"
 
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "src/support/diagnostics.h"
 #include "src/support/utils.h"
 
 namespace hida {
-
-Type
-Type::none()
-{
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kNone;
-    return Type(std::move(s));
-}
-
-Type
-Type::index()
-{
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kIndex;
-    return Type(std::move(s));
-}
-
-Type
-Type::integer(unsigned width, bool is_signed)
-{
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kInteger;
-    s->width = width;
-    s->isSigned = is_signed;
-    return Type(std::move(s));
-}
-
-Type
-Type::floating(unsigned width)
-{
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kFloat;
-    s->width = width;
-    return Type(std::move(s));
-}
-
-Type
-Type::tensor(std::vector<int64_t> shape, Type element)
-{
-    HIDA_ASSERT(element && !element.isShaped(),
-                "tensor element must be scalar");
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kTensor;
-    s->shape = std::move(shape);
-    s->element = std::make_shared<TypeStorage>(*element.storage());
-    return Type(std::move(s));
-}
-
-Type
-Type::memref(std::vector<int64_t> shape, Type element, MemorySpace space)
-{
-    HIDA_ASSERT(element && !element.isShaped(),
-                "memref element must be scalar");
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kMemRef;
-    s->shape = std::move(shape);
-    s->element = std::make_shared<TypeStorage>(*element.storage());
-    s->space = space;
-    return Type(std::move(s));
-}
-
-Type
-Type::stream(Type element, int64_t depth)
-{
-    HIDA_ASSERT(element, "stream element required");
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kStream;
-    s->element = std::make_shared<TypeStorage>(*element.storage());
-    s->depth = depth;
-    return Type(std::move(s));
-}
-
-Type
-Type::token()
-{
-    auto s = std::make_shared<TypeStorage>();
-    s->kind = TypeKind::kToken;
-    return Type(std::move(s));
-}
 
 namespace {
 
@@ -102,7 +26,150 @@ storageEq(const TypeStorage* a, const TypeStorage* b)
     return storageEq(a->element.get(), b->element.get());
 }
 
+uint64_t
+storageHash(const TypeStorage* s)
+{
+    if (s == nullptr)
+        return 0;
+    uint64_t cached = s->hashCache.load(std::memory_order_relaxed);
+    if (cached != 0)
+        return cached;
+    uint64_t h = hashMix(static_cast<uint64_t>(s->kind) + 1);
+    h = hashCombine(h, s->width);
+    h = hashCombine(h, s->isSigned ? 1 : 0);
+    for (int64_t d : s->shape)
+        h = hashCombine(h, static_cast<uint64_t>(d));
+    h = hashCombine(h, static_cast<uint64_t>(s->depth));
+    h = hashCombine(h, static_cast<uint64_t>(s->space));
+    h = hashCombine(h, storageHash(s->element.get()));
+    if (h == 0)
+        h = 1;  // reserve 0 for "not computed"
+    // Concurrent fillers compute the same structural value; last store wins.
+    s->hashCache.store(h, std::memory_order_relaxed);
+    return h;
+}
+
+/**
+ * Process-wide type uniquer: structurally equal types share one storage
+ * object, so handle equality usually short-circuits on the pointer and
+ * cloned modules handed to worker threads share storage safely (it is
+ * immutable apart from the atomic hash). Creation takes a mutex; type
+ * construction happens during lowering, not on the per-point DSE path.
+ */
+class TypeUniquer {
+  public:
+    std::shared_ptr<const TypeStorage>
+    unique(std::shared_ptr<TypeStorage> proto)
+    {
+        uint64_t key = storageHash(proto.get());
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto& bucket = table_[key];
+        for (const auto& existing : bucket)
+            if (storageEq(existing.get(), proto.get()))
+                return existing;
+        bucket.push_back(proto);
+        return proto;
+    }
+
+    static TypeUniquer& instance()
+    {
+        static TypeUniquer uniquer;
+        return uniquer;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<uint64_t,
+                       std::vector<std::shared_ptr<const TypeStorage>>>
+        table_;
+};
+
 } // namespace
+
+Type
+Type::uniqued(std::shared_ptr<TypeStorage> proto)
+{
+    return Type(TypeUniquer::instance().unique(std::move(proto)));
+}
+
+Type
+Type::none()
+{
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kNone;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::index()
+{
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kIndex;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::integer(unsigned width, bool is_signed)
+{
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kInteger;
+    s->width = width;
+    s->isSigned = is_signed;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::floating(unsigned width)
+{
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kFloat;
+    s->width = width;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::tensor(std::vector<int64_t> shape, Type element)
+{
+    HIDA_ASSERT(element && !element.isShaped(),
+                "tensor element must be scalar");
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kTensor;
+    s->shape = std::move(shape);
+    s->element = element.impl_;  // uniqued storage is shared, not copied
+    return uniqued(std::move(s));
+}
+
+Type
+Type::memref(std::vector<int64_t> shape, Type element, MemorySpace space)
+{
+    HIDA_ASSERT(element && !element.isShaped(),
+                "memref element must be scalar");
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kMemRef;
+    s->shape = std::move(shape);
+    s->element = element.impl_;
+    s->space = space;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::stream(Type element, int64_t depth)
+{
+    HIDA_ASSERT(element, "stream element required");
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kStream;
+    s->element = element.impl_;
+    s->depth = depth;
+    return uniqued(std::move(s));
+}
+
+Type
+Type::token()
+{
+    auto s = std::make_shared<TypeStorage>();
+    s->kind = TypeKind::kToken;
+    return uniqued(std::move(s));
+}
 
 bool
 Type::operator==(const Type& other) const
@@ -185,29 +252,6 @@ Type::toMemRef(MemorySpace space) const
     HIDA_ASSERT(isTensor(), "toMemRef requires a tensor");
     return memref(shape(), elementType(), space);
 }
-
-namespace {
-
-uint64_t
-storageHash(const TypeStorage* s)
-{
-    if (s == nullptr)
-        return 0;
-    if (s->hashCache != 0)
-        return s->hashCache;
-    uint64_t h = hashMix(static_cast<uint64_t>(s->kind) + 1);
-    h = hashCombine(h, s->width);
-    h = hashCombine(h, s->isSigned ? 1 : 0);
-    for (int64_t d : s->shape)
-        h = hashCombine(h, static_cast<uint64_t>(d));
-    h = hashCombine(h, static_cast<uint64_t>(s->depth));
-    h = hashCombine(h, static_cast<uint64_t>(s->space));
-    h = hashCombine(h, storageHash(s->element.get()));
-    s->hashCache = h == 0 ? 1 : h;  // reserve 0 for "not computed"
-    return s->hashCache;
-}
-
-} // namespace
 
 uint64_t
 Type::hash() const

@@ -5,9 +5,15 @@
  * @file
  * Immutable, value-semantic type system for the HIDA IR. Types are small
  * handles onto shared immutable storage with structural equality, mirroring
- * the role of mlir::Type without global uniquing machinery.
+ * the role of mlir::Type. Storage is uniqued in a process-wide table
+ * guarded by a mutex, so structurally equal types share one storage object
+ * (pointer-equality fast paths in == and hash) and a module deep-clone
+ * handed to a worker thread shares type storage with its prototype safely:
+ * the storage is immutable apart from the lazily computed hash, which is
+ * atomic.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -43,8 +49,12 @@ struct TypeStorage {
     std::shared_ptr<const TypeStorage> element;  ///< For tensor/memref/stream.
     int64_t depth = 0;                 ///< Stream depth (number of entries).
     MemorySpace space = MemorySpace::kDefault;   ///< For memref.
-    /** Lazily computed structural hash (0 = not yet computed). */
-    mutable uint64_t hashCache = 0;
+    /**
+     * Lazily computed structural hash (0 = not yet computed). Atomic so
+     * concurrent compilations sharing uniqued storage may race to fill it
+     * (both writers store the same value; relaxed ordering suffices).
+     */
+    mutable std::atomic<uint64_t> hashCache{0};
 };
 
 /**
@@ -121,6 +131,9 @@ class Type {
   private:
     explicit Type(std::shared_ptr<const TypeStorage> impl)
         : impl_(std::move(impl)) {}
+
+    /** Intern @p proto in the process-wide uniquing table. */
+    static Type uniqued(std::shared_ptr<TypeStorage> proto);
 
     std::shared_ptr<const TypeStorage> impl_;
 };

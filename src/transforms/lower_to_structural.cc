@@ -122,9 +122,12 @@ class LowerToStructuralPass : public Pass {
 
         OpBuilder builder;
         builder.setInsertionPointBefore(task.op());
-        static int node_counter = 0;
+        // Per-pass (i.e. per-module) numbering: a process-global counter
+        // would make node labels depend on how many modules other threads
+        // compiled first, breaking run-to-run determinism of a sharded
+        // sweep that compiles modules concurrently.
         NodeOp node = NodeOp::create(builder, live_ins, effects,
-                                     "node" + std::to_string(node_counter++));
+                                     "node" + std::to_string(nodeCounter_++));
         // Preserve task annotations (role/layer tags from the lowering).
         for (const auto& [key, value] : task.op()->attrs())
             node.op()->setAttr(key, value);
@@ -140,6 +143,7 @@ class LowerToStructuralPass : public Pass {
     }
 
     FlowOptions options_;
+    int nodeCounter_ = 0;
 };
 
 } // namespace

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Concurrency tests for the thread-safe IR core and the sharded DSE
+ * engine (src/dse/).
+ *
+ *  - Grid mechanics: deterministic row-major enumeration and decode.
+ *  - Sharded-vs-serial equivalence: a LeNet factor sweep run serially
+ *    and with 2/4/8 workers must produce *identical* per-point QoR
+ *    vectors (latency, interval, every resource column) and identical
+ *    Pareto fronts — the invariant behind the benches' stable
+ *    output_sha256 at any HIDA_BENCH_THREADS.
+ *  - Interner / type-uniquer hammers: N threads interning overlapping
+ *    key sets and building overlapping types, then cross-thread
+ *    agreement checks (same string -> same id, same structure -> same
+ *    uniqued storage, isa<> dispatch and hash equality across threads).
+ *  - Per-module structure epochs: one tree's mutations never move
+ *    another tree's epoch.
+ *
+ * Run under -DHIDA_SANITIZE=thread in CI: TSan turns any latent data
+ * race in the shared tables into a hard failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dialect/affine/affine_ops.h"
+#include "src/driver/driver.h"
+#include "src/dse/grid.h"
+#include "src/dse/sweep.h"
+#include "src/estimator/qor.h"
+#include "src/models/dnn_models.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// DesignPointGrid
+//===----------------------------------------------------------------------===//
+
+TEST(GridTest, RowMajorEnumerationMatchesNestedLoops)
+{
+    DesignPointGrid grid;
+    grid.addAxis("a", {1, 2});
+    grid.addAxis("b", {10, 20, 30});
+    grid.addAxis("c", {7});
+    ASSERT_EQ(grid.size(), 6u);
+    ASSERT_EQ(grid.numAxes(), 3u);
+    EXPECT_EQ(grid.axisIndex("b"), 1u);
+
+    // Axis 0 slowest — exactly the order of `for a { for b { for c }}`.
+    std::vector<std::vector<int64_t>> expected;
+    for (int64_t a : {1, 2})
+        for (int64_t b : {10, 20, 30})
+            expected.push_back({a, b, 7});
+    for (size_t i = 0; i < grid.size(); ++i)
+        EXPECT_EQ(grid.point(i), expected[i]) << "point " << i;
+}
+
+TEST(GridTest, ShardBoundsCoverEveryPointOnce)
+{
+    // runShards must partition [0, n) exactly, for any worker count.
+    for (unsigned threads : {1u, 2u, 3u, 4u, 8u, 13u}) {
+        std::vector<std::atomic<int>> seen(101);
+        ShardedSweep::runShards(
+            seen.size(),
+            [&]() {
+                return [&](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i)
+                        seen[i].fetch_add(1);
+                };
+            },
+            threads);
+        for (size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i].load(), 1) << "threads=" << threads;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded sweep == serial sweep
+//===----------------------------------------------------------------------===//
+
+bool
+qorEq(const DesignQor& a, const DesignQor& b)
+{
+    return a.latencyCycles == b.latencyCycles &&
+           a.intervalCycles == b.intervalCycles && a.res.dsp == b.res.dsp &&
+           a.res.bram18k == b.res.bram18k && a.res.lut == b.res.lut &&
+           a.res.ff == b.res.ff;
+}
+
+/** Pareto front over (utilization, throughput), as in the fig1 bench. */
+std::vector<size_t>
+paretoFront(const std::vector<DesignQor>& qors, const TargetDevice& device)
+{
+    std::vector<size_t> order(qors.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return qors[a].res.utilization(device) <
+               qors[b].res.utilization(device);
+    });
+    std::vector<size_t> front;
+    double best = 0.0;
+    for (size_t i : order) {
+        if (qors[i].throughput(device) > best) {
+            best = qors[i].throughput(device);
+            front.push_back(i);
+        }
+    }
+    return front;
+}
+
+TEST(ShardedSweepTest, ThreadCountNeverChangesResults)
+{
+    TargetDevice device = TargetDevice::pynqZ2();
+    OwnedModule prototype = buildLeNet(1);
+    FlowOptions options = optionsFor(Flow::kHida);
+    options.enableTiling = false;
+    options.enableParallelization = false;
+    compile(prototype.get(), options, device);
+    FlowOptions partition_options = options;
+    partition_options.enableParallelization = true;
+
+    // A 48-point sub-grid of the Table 1 factors: big enough that every
+    // worker both warms and reuses its estimator caches.
+    DesignPointGrid grid;
+    grid.addDirectiveAxis("kpf1", {1, 3}, 1, "kpf_loop");
+    grid.addDirectiveAxis("kpf2", {1, 4, 16}, 2, "kpf_loop");
+    grid.addDirectiveAxis("cpf2", {1, 6}, 2, "cpf_loop");
+    grid.addDirectiveAxis("kpf3", {2, 8}, 3, "kpf_loop");
+    grid.addDirectiveAxis("cpf3", {1, 16}, 3, "cpf_loop");
+    ASSERT_EQ(grid.size(), 48u);
+
+    auto sweep = [&](unsigned threads) {
+        // The same CloneSweepWorker recipe the fig1 bench runs.
+        return ShardedSweep::run<DesignQor>(
+            grid,
+            [&]() {
+                auto w = std::make_shared<CloneSweepWorker>(
+                    prototype.get(),
+                    createArrayPartitionPass(partition_options), device);
+                return [w, &grid](size_t, const std::vector<int64_t>& vals) {
+                    return w->evaluate(grid, vals);
+                };
+            },
+            threads);
+    };
+
+    std::vector<DesignQor> serial = sweep(1);
+    ASSERT_EQ(serial.size(), grid.size());
+    for (unsigned threads : {2u, 4u, 8u}) {
+        std::vector<DesignQor> sharded = sweep(threads);
+        ASSERT_EQ(sharded.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            EXPECT_TRUE(qorEq(serial[i], sharded[i]))
+                << "point " << i << " diverged at threads=" << threads;
+        EXPECT_EQ(paretoFront(serial, device), paretoFront(sharded, device))
+            << "Pareto front diverged at threads=" << threads;
+    }
+}
+
+TEST(ShardedSweepTest, IndependentCompilesPerWorker)
+{
+    // fig10/fig11-style sweep: each point is a full compile on a module
+    // the worker builds itself. Serial and sharded runs must agree on
+    // every reported metric.
+    TargetDevice device = TargetDevice::vu9pSlr();
+    DesignPointGrid grid;
+    grid.addAxis("pf", {1, 16});
+    grid.addAxis("tile", {4, 32});
+
+    auto sweep = [&](unsigned threads) {
+        return ShardedSweep::run<CompileResult>(
+            grid,
+            [&]() {
+                return [&device](size_t, const std::vector<int64_t>& vals) {
+                    OwnedModule module = buildDnnModel("ResNet-18", nullptr);
+                    FlowOptions options = optionsFor(Flow::kHida);
+                    options.maxParallelFactor = vals[0];
+                    options.tileSize = vals[1];
+                    return compile(module.get(), options, device);
+                };
+            },
+            threads);
+    };
+
+    std::vector<CompileResult> serial = sweep(1);
+    std::vector<CompileResult> sharded = sweep(4);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(qorEq(serial[i].qor, sharded[i].qor)) << "point " << i;
+        EXPECT_EQ(serial[i].overload, sharded[i].overload) << "point " << i;
+        EXPECT_EQ(serial[i].effectiveThroughput,
+                  sharded[i].effectiveThroughput)
+            << "point " << i;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Interner / type-uniquer hammers
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrencyHammerTest, InternerAgreesAcrossThreads)
+{
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 512;
+    // Overlapping key sets: every thread interns the shared range plus a
+    // thread-specific slice, in a thread-dependent order.
+    std::vector<std::vector<Identifier>> ids(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &ids]() {
+            std::vector<Identifier>& mine = ids[t];
+            mine.resize(kKeys);
+            for (int i = 0; i < kKeys; ++i) {
+                int k = (t % 2) ? (kKeys - 1 - i) : i;
+                mine[k] = Identifier::get("hammer" + std::to_string(t % 4) +
+                                          ".key" + std::to_string(k));
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        for (int k = 0; k < kKeys; ++k) {
+            // Same string -> same id, across every thread and vs. a fresh
+            // main-thread intern; str() round-trips; dialect precomputed.
+            std::string key = "hammer" + std::to_string(t % 4) + ".key" +
+                              std::to_string(k);
+            EXPECT_EQ(ids[t][k], Identifier::get(key));
+            EXPECT_EQ(ids[t][k], ids[(t + 4) % kThreads][k]);
+            EXPECT_EQ(ids[t][k].str(), key);
+            EXPECT_EQ(ids[t][k].dialect(),
+                      Identifier::get("hammer" + std::to_string(t % 4)));
+        }
+    }
+}
+
+TEST(ConcurrencyHammerTest, TypeUniquingAgreesAcrossThreads)
+{
+    constexpr int kThreads = 8;
+    constexpr int kShapes = 64;
+    std::vector<std::vector<Type>> types(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &types]() {
+            std::vector<Type>& mine = types[t];
+            for (int i = 0; i < kShapes; ++i) {
+                int64_t dim = 1 + (i % 16);
+                mine.push_back(Type::memref(
+                    {dim, 64}, (i % 2) ? Type::i8() : Type::f32(),
+                    (i % 3) ? MemorySpace::kOnChip : MemorySpace::kExternal));
+                mine.push_back(Type::stream(Type::i32(), dim));
+            }
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+
+    for (int t = 1; t < kThreads; ++t) {
+        ASSERT_EQ(types[t].size(), types[0].size());
+        for (size_t i = 0; i < types[t].size(); ++i) {
+            // Structural equality, hash equality, and — because storage
+            // is uniqued — pointer-identical backing storage.
+            EXPECT_TRUE(types[t][i] == types[0][i]);
+            EXPECT_EQ(types[t][i].hash(), types[0][i].hash());
+            EXPECT_EQ(types[t][i].storage(), types[0][i].storage());
+        }
+    }
+}
+
+TEST(ConcurrencyHammerTest, CrossThreadIsaDispatch)
+{
+    // Each thread builds its own module and walks it with isa<> — the
+    // opNameId<OpT>() caches and the registry are the shared state.
+    constexpr int kThreads = 8;
+    std::vector<int> for_counts(kThreads, 0);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t, &for_counts]() {
+            OwnedModule module = buildLeNet(1);
+            int count = 0;
+            module.get().op()->walk([&](Operation* op) {
+                if (isa<ForOp>(op) && !dynCast<ForOp>(op).isPipelined())
+                    ++count;
+            });
+            for_counts[t] = count;
+        });
+    }
+    for (std::thread& t : pool)
+        t.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(for_counts[t], for_counts[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-module structure epochs
+//===----------------------------------------------------------------------===//
+
+TEST(StructureEpochTest, ModulesAreIsolated)
+{
+    OwnedModule a = buildLeNet(1);
+    OwnedModule b = buildLeNet(1);
+    uint64_t epoch_b = b.get().op()->structureEpoch();
+
+    // Structural mutation in tree A: A's epoch moves, B's does not —
+    // the property that keeps one worker's mutations from invalidating
+    // another worker's schedule caches.
+    uint64_t epoch_a = a.get().op()->structureEpoch();
+    Operation* first = a.get().body()->front();
+    OpBuilder builder;
+    builder.setInsertionPointBefore(first);
+    builder.create("test.epoch_probe");
+    EXPECT_NE(a.get().op()->structureEpoch(), epoch_a);
+    EXPECT_EQ(b.get().op()->structureEpoch(), epoch_b);
+
+    // A clone is its own tree: mutating it leaves the prototype alone.
+    OwnedModule c = OwnedModule::clone(b.get());
+    uint64_t epoch_c = c.get().op()->structureEpoch();
+    OpBuilder cb;
+    cb.setInsertionPointBefore(c.get().body()->front());
+    cb.create("test.epoch_probe");
+    EXPECT_NE(c.get().op()->structureEpoch(), epoch_c);
+    EXPECT_EQ(b.get().op()->structureEpoch(), epoch_b);
+}
+
+TEST(StructureEpochTest, CloneEstimatesMatchPrototype)
+{
+    TargetDevice device = TargetDevice::pynqZ2();
+    OwnedModule prototype = buildLeNet(1);
+    FlowOptions options = optionsFor(Flow::kHida);
+    options.enableTiling = false;
+    compile(prototype.get(), options, device);
+
+    OwnedModule clone = OwnedModule::clone(prototype.get());
+    QorEstimator proto_est(device), clone_est(device);
+    DesignQor proto_qor = proto_est.estimateFunc(topFunc(prototype.get()));
+    DesignQor clone_qor = clone_est.estimateFunc(topFunc(clone.get()));
+    EXPECT_TRUE(qorEq(proto_qor, clone_qor));
+}
+
+} // namespace
+} // namespace hida

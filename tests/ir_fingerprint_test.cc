@@ -95,7 +95,8 @@ TEST(FingerprintTest, ExemptAttrWritesDoNotDirty)
 TEST(FingerprintTest, InsertMoveEraseDirtyAncestorChain)
 {
     NestFixture f;
-    uint64_t epoch_before = Operation::structureEpoch();
+    Operation* root = f.module.get().op();
+    uint64_t epoch_before = root->structureEpoch();
     uint64_t before = f.warm();
 
     // Insert: new op in the inner body dirties inner/outer/func/module.
@@ -122,11 +123,14 @@ TEST(FingerprintTest, InsertMoveEraseDirtyAncestorChain)
     EXPECT_FALSE(f.sibling.op()->subtreeHashCached());
     EXPECT_EQ(f.warm(), before);
 
-    // Structural mutations (unlike attribute writes) bump the epoch.
-    EXPECT_GT(Operation::structureEpoch(), epoch_before);
-    uint64_t epoch_after = Operation::structureEpoch();
+    // Structural mutations (unlike attribute writes) move the tree's
+    // epoch; epoch values are globally fresh, so "moved" reads as >.
+    EXPECT_GT(root->structureEpoch(), epoch_before);
+    uint64_t epoch_after = root->structureEpoch();
     f.inner.setUnrollFactor(2);
-    EXPECT_EQ(Operation::structureEpoch(), epoch_after);
+    EXPECT_EQ(root->structureEpoch(), epoch_after);
+    // Any op of the tree reads the same (root-owned) epoch.
+    EXPECT_EQ(f.inner.op()->structureEpoch(), epoch_after);
 }
 
 TEST(FingerprintTest, ValueRetypeDirtiesOwnerAndUsers)
