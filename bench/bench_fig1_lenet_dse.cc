@@ -13,11 +13,24 @@
  * factors per point, re-partitions the arrays and re-estimates QoR with
  * its own estimator, and results are merged in grid order — so stdout is
  * bit-identical to the serial sweep at any HIDA_BENCH_THREADS.
+ *
+ * The sweep runs on the resilient engine: prototypes are verified up
+ * front, a failed point (e.g. under HIDA_FAULT_INJECT=kind:seed:rate)
+ * is reported on stderr and excluded from the feasible set instead of
+ * killing the run, and two env knobs exercise the robustness paths:
+ *   HIDA_SWEEP_JOURNAL=<prefix>   checkpoint each (mode, batch) sweep to
+ *                                 <prefix>_{df|nodf}_b<batch>.jrnl and
+ *                                 resume from it on restart;
+ *   HIDA_SWEEP_DEADLINE_MS=<ms>   wall-clock budget per sweep.
+ * On a clean, unlimited run stdout is byte-identical to the fault-free
+ * engine (the bench.sh serial-vs-sharded sha gate proves it).
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/dialect/affine/affine_ops.h"
@@ -75,6 +88,18 @@ factorGrid()
     return grid;
 }
 
+/** Wall-clock budget per sweep from HIDA_SWEEP_DEADLINE_MS (0: none). */
+double
+sweepDeadlineSeconds()
+{
+    if (const char* env = std::getenv("HIDA_SWEEP_DEADLINE_MS")) {
+        double ms = std::atof(env);
+        if (ms > 0.0)
+            return ms / 1000.0;
+    }
+    return 0.0;
+}
+
 /** Upper-convex (Pareto) filter: max throughput per utilization budget. */
 std::vector<Point>
 paretoFront(std::vector<Point> points)
@@ -103,6 +128,11 @@ main()
     const DesignPointGrid grid = factorGrid();
     const unsigned threads = dseThreadCount();
 
+    const char* journal_prefix = std::getenv("HIDA_SWEEP_JOURNAL");
+    const double deadline_seconds = sweepDeadlineSeconds();
+    size_t total_failures = 0, total_restored = 0;
+    bool any_stopped = false;
+
     std::vector<Point> points;
     for (bool dataflow : {true, false}) {
         for (int64_t batch : batches) {
@@ -115,35 +145,80 @@ main()
             options.enableParallelization = false;
             compile(module.get(), options, device);
 
+            // A broken prototype fails the run up front through the
+            // user-error path — never an abort in some sweep worker.
+            if (auto diag = verifySweepPrototype(module.get())) {
+                emitDiagnostic(*diag);
+                HIDA_FATAL("sweep prototype rejected: ", diag->message);
+            }
+
             FlowOptions partition_options = options;
             partition_options.enableParallelization = true;
 
-            std::vector<Point> results = ShardedSweep::run<Point>(
+            SweepLimits limits;
+            limits.deadlineSeconds = deadline_seconds;
+            SweepJournal journal;
+            if (journal_prefix != nullptr && *journal_prefix != '\0') {
+                std::string path =
+                    std::string(journal_prefix) +
+                    (dataflow ? "_df" : "_nodf") + "_b" +
+                    std::to_string(batch) + ".jrnl";
+                if (auto diag = journal.open(path, grid.contentHash(),
+                                             sizeof(Point)))
+                    emitDiagnostic(*diag);
+                limits.journal = &journal;
+            }
+
+            SweepOutcome<Point> outcome = ShardedSweep::runResilient<Point>(
                 grid,
                 [&]() {
                     auto w = std::make_shared<CloneSweepWorker>(
                         module.get(),
                         createArrayPartitionPass(partition_options), device);
-                    return [w, &grid, &device,
-                            batch](size_t, const std::vector<int64_t>& vals) {
-                        DesignQor qor = w->evaluate(grid, vals);
+                    ResilientWorker<Point> worker;
+                    worker.evaluate =
+                        [w, &grid, &device, batch](
+                            size_t,
+                            const std::vector<int64_t>& vals) -> Result<Point> {
+                        Result<DesignQor> qor = w->evaluateChecked(grid, vals);
+                        if (!qor.ok())
+                            return qor.takeDiag();
                         Point point;
-                        point.util = qor.res.utilization(device);
-                        point.throughput = qor.throughput(device) * batch;
+                        point.util = qor.value().res.utilization(device);
+                        point.throughput =
+                            qor.value().throughput(device) * batch;
                         return point;
                     };
+                    worker.recover = [w]() { w->rebuild(); };
+                    return worker;
                 },
-                threads);
+                threads, limits);
+
+            total_failures += outcome.failures.size();
+            total_restored += outcome.restored;
+            if (outcome.stopped) {
+                any_stopped = true;
+                if (outcome.stopReason)
+                    emitDiagnostic(*outcome.stopReason);
+            }
 
             // Deterministic merge: grid order, same filter as the serial
-            // sweep.
-            for (Point& point : results) {
+            // sweep. Failed or unreached points are simply not feasible.
+            for (size_t i = 0; i < outcome.results.size(); ++i) {
+                if (!outcome.completed[i])
+                    continue;
+                Point point = outcome.results[i];
                 point.dataflow = dataflow;
                 if (point.util <= 1.05)
                     points.push_back(point);
             }
         }
     }
+    if (total_failures > 0 || total_restored > 0 || any_stopped)
+        inform(strCat("resilient sweep: ", total_failures,
+                      " failed point(s), ", total_restored,
+                      " restored from journal",
+                      any_stopped ? ", stopped before completion" : ""));
 
     std::printf("Figure 1: LeNet exhaustive design space (PYNQ-Z2), "
                 "%zu feasible of 24000 points\n", points.size());

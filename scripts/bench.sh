@@ -16,6 +16,20 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 cd "$REPO_ROOT"
 
+# Fail loudly, never partially: every BENCH json is staged to a .tmp and
+# only renamed into place after its producer succeeded, and the ERR trap
+# removes stale temps — an aborted run can never leave a half-written
+# (or worse, plausible-but-wrong) baseline for the regression gate to
+# diff against.
+STAGED_TMPS=()
+on_error() {
+    local line=$1
+    rm -f "${STAGED_TMPS[@]}"
+    echo "FAIL: bench.sh aborted at line $line; no BENCH json was" \
+         "(re)written" >&2
+}
+trap 'on_error $LINENO' ERR
+
 # Honor a compiler launcher (CI sets CMAKE_CXX_COMPILER_LAUNCHER=ccache so
 # matrix rebuilds are warm); plain local runs are unaffected.
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
@@ -58,7 +72,8 @@ if [[ "$out_sha" != "$serial_sha" ]]; then
     exit 1
 fi
 
-cat > "$REPO_ROOT/BENCH_dse.json" <<EOF
+STAGED_TMPS+=("$REPO_ROOT/BENCH_dse.json.tmp")
+cat > "$REPO_ROOT/BENCH_dse.json.tmp" <<EOF
 {
   "bench": "bench_fig1_lenet_dse",
   "points": $DSE_POINTS,
@@ -73,17 +88,20 @@ cat > "$REPO_ROOT/BENCH_dse.json" <<EOF
   "commit": "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 }
 EOF
+mv "$REPO_ROOT/BENCH_dse.json.tmp" "$REPO_ROOT/BENCH_dse.json"
 echo "DSE sweep: serial ${serial_wall_s}s (${serial_pps} pps)," \
      "threads=$THREADS ${wall_s}s (${pps} pps), identical output"
 
 # ---- Pipeline compile-time microbenchmarks --------------------------------
+STAGED_TMPS+=("$REPO_ROOT/BENCH_compile_time.json.tmp")
 "$BUILD_DIR/bench_compile_time" \
     --benchmark_format=json \
-    --benchmark_out="$REPO_ROOT/BENCH_compile_time.json" \
+    --benchmark_out="$REPO_ROOT/BENCH_compile_time.json.tmp" \
     --benchmark_out_format=json > /dev/null
 # Record the run's thread configuration here too (the microbenchmarks are
 # single-threaded, but consumers diffing the two files should see one
 # consistent machine description).
 sed -i "0,/{/s//{\n  \"threads\": $THREADS,\n  \"hardware_concurrency\": $HW_CONCURRENCY,/" \
-    "$REPO_ROOT/BENCH_compile_time.json"
+    "$REPO_ROOT/BENCH_compile_time.json.tmp"
+mv "$REPO_ROOT/BENCH_compile_time.json.tmp" "$REPO_ROOT/BENCH_compile_time.json"
 echo "Wrote BENCH_dse.json and BENCH_compile_time.json"

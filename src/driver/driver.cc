@@ -111,8 +111,11 @@ compile(ModuleOp module, const FlowOptions& options, const TargetDevice& device)
     CompileResult result;
     result.compileSeconds = pm.totalSeconds();
 
+    // A function-less module is bad *input*, not a compiler bug: exit
+    // through the fatal (user-error) path, never SIGABRT.
     FuncOp func = topFunc(module);
-    HIDA_ASSERT(func, "module has no function to estimate");
+    if (!func)
+        HIDA_FATAL("module has no function to estimate");
 
     QorEstimator estimator(device);
     result.qor = estimator.estimateFunc(func);

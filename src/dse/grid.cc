@@ -4,6 +4,7 @@
 
 #include "src/dialect/affine/affine_ops.h"
 #include "src/support/diagnostics.h"
+#include "src/support/utils.h"
 
 namespace hida {
 
@@ -70,6 +71,49 @@ DesignPointGrid::point(size_t index) const
 
 namespace {
 
+uint64_t
+hashString(uint64_t h, std::string_view s)
+{
+    h = hashCombine(h, s.size());
+    for (char c : s)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+} // namespace
+
+uint64_t
+DesignPointGrid::contentHash() const
+{
+    uint64_t h = hashMix(0x48494441u /* "HIDA" */);
+    h = hashCombine(h, axes_.size());
+    for (const GridAxis& axis : axes_) {
+        h = hashString(h, axis.name);
+        h = hashCombine(h, axis.values.size());
+        for (int64_t v : axis.values)
+            h = hashCombine(h, static_cast<uint64_t>(v));
+        h = hashCombine(h, static_cast<uint64_t>(axis.layerSeq));
+        // By string, not intern id: intern order differs across runs,
+        // and the hash must match the one a dead process journaled.
+        h = hashString(h, axis.loopTag ? axis.loopTag.str()
+                                       : std::string_view());
+    }
+    return h;
+}
+
+uint64_t
+DesignPointGrid::pointFingerprint(size_t index) const
+{
+    std::vector<int64_t> values;
+    decode(index, values);
+    uint64_t h = hashCombine(contentHash(), index);
+    for (int64_t v : values)
+        h = hashCombine(h, static_cast<uint64_t>(v));
+    return h;
+}
+
+namespace {
+
 /** Interned "layer_seq" key shared by every applyPoint walk. */
 Identifier
 layerSeqId()
@@ -79,6 +123,31 @@ layerSeqId()
 }
 
 } // namespace
+
+std::optional<Diagnostic>
+applyPointChecked(ModuleOp module, const DesignPointGrid& grid,
+                  const std::vector<int64_t>& values)
+{
+    // All validation happens before the first IR write: a rejected
+    // point never leaves the worker's clone half-applied.
+    if (values.size() != grid.numAxes())
+        return Diagnostic(ErrorCode::kInvalidDirective,
+                          strCat("point has ", values.size(),
+                                 " values for a ", grid.numAxes(),
+                                 "-axis grid"),
+                          "applyPoint");
+    for (size_t i = 0; i < grid.numAxes(); ++i) {
+        const GridAxis& axis = grid.axis(i);
+        if (axis.bound() && values[i] < 1)
+            return Diagnostic(ErrorCode::kInvalidDirective,
+                              strCat("axis '", axis.name, "' value ",
+                                     values[i],
+                                     " is not a positive unroll factor"),
+                              "applyPoint");
+    }
+    applyPoint(module, grid, values);
+    return std::nullopt;
+}
 
 void
 applyPoint(ModuleOp module, const DesignPointGrid& grid,

@@ -13,12 +13,14 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/ir/builtin_ops.h"
 #include "src/ir/identifier.h"
+#include "src/support/diagnostics.h"
 
 namespace hida {
 
@@ -74,6 +76,22 @@ class DesignPointGrid {
     /** Allocating convenience wrapper around decode(). */
     std::vector<int64_t> point(size_t index) const;
 
+    /**
+     * Process-independent structural hash of the grid: axis names,
+     * value lists and directive bindings (by tag *string*, not intern
+     * id, so the hash is stable across runs). A sweep journal stores it
+     * so a resumed sweep refuses records from a different grid.
+     */
+    uint64_t contentHash() const;
+
+    /**
+     * Process-independent fingerprint of one point's directive
+     * assignment: contentHash() folded with the decoded axis values.
+     * Journal records carry it so an index from a reshaped grid can
+     * never be replayed as the wrong design point.
+     */
+    uint64_t pointFingerprint(size_t index) const;
+
   private:
     std::vector<GridAxis> axes_;
 };
@@ -87,6 +105,17 @@ class DesignPointGrid {
  */
 void applyPoint(ModuleOp module, const DesignPointGrid& grid,
                 const std::vector<int64_t>& values);
+
+/**
+ * Recoverable applyPoint: validates the point against the grid (axis
+ * count, positive unroll factors on directive-bound axes) and returns a
+ * kInvalidDirective Diagnostic instead of aborting. Validation runs
+ * *before* any IR write, so a rejected point leaves the module
+ * untouched. The per-point entry of the resilient sweep.
+ */
+std::optional<Diagnostic> applyPointChecked(ModuleOp module,
+                                            const DesignPointGrid& grid,
+                                            const std::vector<int64_t>& values);
 
 } // namespace hida
 

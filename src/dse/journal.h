@@ -1,0 +1,110 @@
+#ifndef HIDA_DSE_JOURNAL_H
+#define HIDA_DSE_JOURNAL_H
+
+/**
+ * @file
+ * Crash-safe sweep checkpoint journal: workers append completed
+ * (point index, directive fingerprint, QoR payload) records; a
+ * restarted sweep loads the journal and skips every journaled point,
+ * so interrupted work resumes instead of restarting. The first
+ * stepping stone toward the ROADMAP's persistent fingerprint-keyed
+ * QoR store.
+ *
+ * Durability model:
+ *  - Flushes are whole-file snapshots written to "<path>.tmp" and
+ *    renamed over <path> — a crash mid-flush leaves the previous
+ *    complete journal intact (rename is atomic on POSIX).
+ *  - The versioned header pins the record layout, the payload size and
+ *    the grid's content hash, so a journal can never be resumed
+ *    against a different sweep shape.
+ *  - Every record carries a checksum over its bytes. A corrupt or
+ *    short tail is tolerated by truncating to the last good record
+ *    (the dropped points are simply re-evaluated); corruption is
+ *    reported, never fatal.
+ *
+ * Thread safety: record()/restore()/flush() are serialized by one
+ * internal mutex — sweep workers share a journal by design. Restored
+ * payloads are byte-exact copies of what the dead run computed, which
+ * is what lets a resumed sweep reproduce a clean run's output hash.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+class SweepJournal {
+  public:
+    /** What load() found in a pre-existing journal file. */
+    struct LoadStats {
+        size_t restored = 0;        ///< Intact records adopted.
+        size_t droppedCorrupt = 0;  ///< Checksum/short-read tail records.
+        bool headerMismatch = false;  ///< Wrong magic/version/grid/payload.
+    };
+
+    SweepJournal() = default;
+    SweepJournal(const SweepJournal&) = delete;
+    SweepJournal& operator=(const SweepJournal&) = delete;
+
+    /**
+     * Bind the journal to @p path for a sweep with @p grid_hash
+     * (DesignPointGrid::contentHash) and @p payload_size bytes per
+     * record, then load whatever a previous run left there. Returns a
+     * *recoverable* kJournalMismatch/kJournalCorrupt Diagnostic when
+     * the existing file was rejected or had a corrupt tail — the
+     * journal is usable either way (mismatched files are ignored and
+     * overwritten by the next flush). Appends are batched: every
+     * @p batch_records completions trigger a snapshot flush.
+     */
+    std::optional<Diagnostic> open(std::string path, uint64_t grid_hash,
+                                   size_t payload_size,
+                                   size_t batch_records = 64);
+
+    size_t payloadSize() const { return payloadSize_; }
+    const LoadStats& loadStats() const { return loadStats_; }
+    /** Number of records currently held (loaded + appended). */
+    size_t size() const;
+
+    /**
+     * Copy the journaled payload of @p index into @p out (payloadSize
+     * bytes) if a record exists *and* its directive fingerprint matches
+     * @p expected_fp (DesignPointGrid::pointFingerprint). A fingerprint
+     * mismatch means the record belongs to a different design point —
+     * it is ignored, never trusted.
+     */
+    bool restore(size_t index, uint64_t expected_fp, void* out) const;
+
+    /** Append one completed point; flushes every batch_records. */
+    void record(size_t index, uint64_t fingerprint, const void* payload);
+
+    /** Snapshot all records to disk (write temp + rename). */
+    void flush();
+
+  private:
+    struct Record {
+        uint64_t fingerprint = 0;
+        std::vector<uint8_t> payload;
+    };
+
+    void flushLocked();
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    uint64_t gridHash_ = 0;
+    size_t payloadSize_ = 0;
+    size_t batchRecords_ = 64;
+    size_t dirtySinceFlush_ = 0;
+    LoadStats loadStats_;
+    std::unordered_map<uint64_t, Record> records_;
+};
+
+} // namespace hida
+
+#endif // HIDA_DSE_JOURNAL_H

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/ir/registry.h"
+#include "src/ir/verifier.h"
 
 namespace hida {
 
@@ -30,14 +31,25 @@ ShardedSweep::runShards(size_t num_points, const ShardFactory& factory,
     for (size_t w = 0; w < workers; ++w) {
         size_t begin = num_points * w / workers;
         size_t end = num_points * (w + 1) / workers;
-        pool.emplace_back([&factory, begin, end]() {
+        pool.emplace_back([&factory, begin, end, w]() {
             // The factory runs here, on the worker thread, so clones,
             // estimators and passes it creates are owned by this thread.
+            // Tag the thread so concurrent diagnostic lines say which
+            // worker emitted them (emission itself is serialized).
+            setDiagnosticThreadTag(strCat("w", w));
             factory()(begin, end);
         });
     }
     for (std::thread& t : pool)
         t.join();
+}
+
+std::optional<Diagnostic>
+verifySweepPrototype(ModuleOp prototype)
+{
+    // The setup fault scope lets HIDA_FAULT_INJECT force this path.
+    FaultScope scope(kFaultSetupKey);
+    return verifyToDiagnostic(prototype.op(), "sweep prototype");
 }
 
 unsigned

@@ -20,18 +20,117 @@
  * Shards are contiguous index ranges: neighboring points differ in the
  * fastest axes only, which keeps each worker's directive-fingerprint
  * memo hot exactly like the serial sweep it replaces.
+ *
+ * Two execution modes:
+ *  - run(): the PR 5 contract — every point must succeed; a panic in a
+ *    worker aborts the process (compiler-bug semantics).
+ *  - runResilient(): the fault-isolated contract (see ROADMAP "Error
+ *    handling contract") — a failed point becomes a structured
+ *    PointFailure in the outcome (grid order; surviving points are
+ *    bit-identical to a clean run), the worker rebuilds its clone from
+ *    the prototype after a failure, a cooperative CancelToken and a
+ *    wall-clock deadline stop all shards between points, and an
+ *    optional SweepJournal checkpoints completed points so an
+ *    interrupted sweep resumes instead of restarting.
  */
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "src/driver/driver.h"
 #include "src/dse/grid.h"
+#include "src/dse/journal.h"
 #include "src/support/diagnostics.h"
+#include "src/support/fault_inject.h"
 
 namespace hida {
+
+/**
+ * Cooperative cancellation: any thread may cancel(); workers observe it
+ * between points and stop their shard. Completed points stay valid.
+ */
+class CancelToken {
+  public:
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** One failed sweep point: where (grid index) and why (structured). */
+struct PointFailure {
+    size_t index = 0;
+    Diagnostic diag;
+};
+
+/** Stop conditions and checkpointing of one resilient sweep. */
+struct SweepLimits {
+    /** Wall-clock budget in seconds (<= 0: unbounded), measured from
+     * runResilient() entry and checked between points. */
+    double deadlineSeconds = 0.0;
+    /** Max *newly evaluated* points across all shards (0: unbounded);
+     * journal-restored points are free. The deterministic interrupt
+     * knob for resume tests. */
+    size_t pointBudget = 0;
+    /** Cooperative cancellation (optional, not owned). */
+    CancelToken* cancel = nullptr;
+    /** Checkpoint journal (optional, not owned). Must be open()ed for
+     * this grid's contentHash() and sizeof(R). */
+    SweepJournal* journal = nullptr;
+};
+
+/**
+ * Outcome of a resilient sweep. Indexes mirror grid order; a point is
+ * either completed (results[i] valid), failed (a PointFailure carries
+ * its diagnostic), or not reached (sweep stopped first).
+ */
+template <typename R>
+struct SweepOutcome {
+    std::vector<R> results;           ///< Valid where completed[i] != 0.
+    std::vector<uint8_t> completed;   ///< Per grid index.
+    std::vector<PointFailure> failures;  ///< Grid order.
+    size_t evaluated = 0;  ///< Points newly evaluated this run.
+    size_t restored = 0;   ///< Points restored from the journal.
+    bool stopped = false;  ///< Deadline/cancel/budget ended the sweep.
+    std::optional<Diagnostic> stopReason;  ///< Set when stopped.
+
+    bool
+    allCompleted() const
+    {
+        for (uint8_t c : completed)
+            if (!c)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Per-worker hooks of a resilient sweep. evaluate returns the point's
+ * result or a Diagnostic; recover (optional) restores the worker to a
+ * known-good state after a failed point — a half-applied point may have
+ * corrupted the worker's clone, so the canonical recover deep-clones
+ * the prototype again (CloneSweepWorker::rebuild).
+ */
+template <typename R>
+struct ResilientWorker {
+    std::function<Result<R>(size_t index, const std::vector<int64_t>&)>
+        evaluate;
+    std::function<void()> recover;
+};
 
 /**
  * The canonical worker-local state of a clone-the-prototype sweep (the
@@ -42,14 +141,18 @@ namespace hida {
  * on the worker thread — so every member is owned by that thread.
  */
 struct CloneSweepWorker {
+    ModuleOp prototype;
     OwnedModule module;
     FuncOp func;
     std::unique_ptr<Pass> perPointPass;
     QorEstimator estimator;
 
-    CloneSweepWorker(ModuleOp prototype, std::unique_ptr<Pass> per_point_pass,
+    CloneSweepWorker(ModuleOp prototype_module,
+                     std::unique_ptr<Pass> per_point_pass,
                      const TargetDevice& device)
-        : module(OwnedModule::clone(prototype)), func(topFunc(module.get())),
+        : prototype(prototype_module),
+          module(OwnedModule::clone(prototype_module)),
+          func(topFunc(module.get())),
           perPointPass(std::move(per_point_pass)), estimator(device)
     {
         HIDA_ASSERT(func, "sweep prototype has no function to estimate");
@@ -63,12 +166,53 @@ struct CloneSweepWorker {
         perPointPass->runOnModule(module.get());
         return estimator.estimateFunc(func);
     }
+
+    /**
+     * Fault-isolating evaluate: every per-point stage (directive
+     * binding, per-point pass, estimation) reports failure as a
+     * Diagnostic instead of aborting. After a failure call rebuild() —
+     * the clone may be half-transformed.
+     */
+    Result<DesignQor>
+    evaluateChecked(const DesignPointGrid& grid,
+                    const std::vector<int64_t>& values)
+    {
+        if (auto diag = applyPointChecked(module.get(), grid, values))
+            return *diag;
+        if (auto diag = perPointPass->runChecked(module.get()))
+            return *diag;
+        return estimator.estimateFuncChecked(func);
+    }
+
+    /**
+     * Re-clone the prototype and drop every memoized estimate (the
+     * caches key on operation addresses of the dead clone). Warm-vs-cold
+     * estimate equality is pinned by the differential fuzzer, so a
+     * rebuilt worker's surviving points stay bit-identical to a clean
+     * run's.
+     */
+    void
+    rebuild()
+    {
+        module = OwnedModule::clone(prototype);
+        func = topFunc(module.get());
+        estimator.invalidateCache();
+    }
 };
+
+/**
+ * Verify a sweep prototype before any worker starts, surfacing findings
+ * as a structured Diagnostic (never an abort): a broken prototype fails
+ * the sweep up front as data instead of panicking mid-sweep in some
+ * worker. Runs under the setup fault scope so HIDA_FAULT_INJECT can
+ * force this path in tests.
+ */
+std::optional<Diagnostic> verifySweepPrototype(ModuleOp prototype);
 
 /**
  * Evaluates grid points through worker-local evaluation functions.
  * Non-template core (shard math, thread lifecycle) lives in sweep.cc;
- * the typed run() adapter stores results by point index.
+ * the typed run()/runResilient() adapters store results by point index.
  */
 class ShardedSweep {
   public:
@@ -87,7 +231,8 @@ class ShardedSweep {
      * boundaries, no work stealing, so a point's evaluation history
      * (and therefore any history-sensitive caching) depends only on its
      * shard, never on timing. Panics in a worker abort the process (the
-     * same contract as the serial sweep).
+     * same contract as the serial sweep). Spawned workers tag their
+     * diagnostic lines "w<index>" (see setDiagnosticThreadTag).
      */
     static void runShards(size_t num_points, const ShardFactory& factory,
                           unsigned threads);
@@ -122,6 +267,171 @@ class ShardedSweep {
             },
             threads);
         return results;
+    }
+
+    /**
+     * Fault-isolated, deadline-bounded, resumable sweep over @p grid.
+     *
+     * Contract (pinned by tests/dse_fault_test.cc):
+     *  - A failed point never takes the sweep down: its Diagnostic is
+     *    recorded as a PointFailure (merged in grid order) and the
+     *    worker's recover hook runs before the next point.
+     *  - Surviving points are bit-identical to a clean run at any
+     *    thread count (failures are decided by the deterministic fault
+     *    key = grid index, never by shard/timing).
+     *  - limits.deadlineSeconds / cancel / pointBudget stop all shards
+     *    between points; completed results remain valid.
+     *  - With limits.journal, completed points are checkpointed and a
+     *    restarted sweep restores them byte-exactly instead of
+     *    re-evaluating (same output hash as an uninterrupted run).
+     *
+     * R must be trivially copyable (journaled byte-exactly) and
+     * default-constructible (placeholder for unreached points).
+     */
+    template <typename R>
+    static SweepOutcome<R>
+    runResilient(const DesignPointGrid& grid,
+                 const std::function<ResilientWorker<R>()>& factory,
+                 unsigned threads, const SweepLimits& limits = SweepLimits())
+    {
+        static_assert(std::is_trivially_copyable_v<R>,
+                      "sweep results are journaled as raw bytes");
+        const size_t n = grid.size();
+        SweepOutcome<R> outcome;
+        outcome.results.resize(n);
+        outcome.completed.assign(n, 0);
+
+        SweepJournal* journal = limits.journal;
+        HIDA_ASSERT(journal == nullptr ||
+                        journal->payloadSize() == sizeof(R),
+                    "journal payload size does not match the result type");
+
+        std::atomic<bool> stop{false};
+        // 0 = running, else the stop cause (first writer wins).
+        std::atomic<int> stop_cause{0};
+        std::atomic<size_t> evaluated{0};
+        std::atomic<size_t> restored{0};
+        const bool has_deadline = limits.deadlineSeconds > 0.0;
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    has_deadline ? limits.deadlineSeconds : 0.0));
+        std::mutex failures_mutex;
+
+        runShards(
+            n,
+            [&]() -> ShardFn {
+                ResilientWorker<R> worker = factory();
+                return [&, worker = std::move(worker)](size_t begin,
+                                                       size_t end) {
+                    std::vector<int64_t> values;
+                    std::vector<PointFailure> local_failures;
+                    for (size_t i = begin; i < end; ++i) {
+                        if (stop.load(std::memory_order_relaxed))
+                            break;
+                        if (limits.cancel != nullptr &&
+                            limits.cancel->cancelled()) {
+                            int expected = 0;
+                            stop_cause.compare_exchange_strong(expected, 2);
+                            stop.store(true, std::memory_order_relaxed);
+                            break;
+                        }
+                        if (has_deadline &&
+                            std::chrono::steady_clock::now() >= deadline) {
+                            int expected = 0;
+                            stop_cause.compare_exchange_strong(expected, 1);
+                            stop.store(true, std::memory_order_relaxed);
+                            break;
+                        }
+                        if (journal != nullptr &&
+                            journal->restore(i, grid.pointFingerprint(i),
+                                             &outcome.results[i])) {
+                            outcome.completed[i] = 1;
+                            restored.fetch_add(1, std::memory_order_relaxed);
+                            continue;
+                        }
+                        if (limits.pointBudget > 0) {
+                            size_t prev = evaluated.fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (prev >= limits.pointBudget) {
+                                evaluated.fetch_sub(
+                                    1, std::memory_order_relaxed);
+                                int expected = 0;
+                                stop_cause.compare_exchange_strong(expected,
+                                                                   3);
+                                stop.store(true, std::memory_order_relaxed);
+                                break;
+                            }
+                        } else {
+                            evaluated.fetch_add(1,
+                                                std::memory_order_relaxed);
+                        }
+                        grid.decode(i, values);
+                        // The fault key is the grid index: injected
+                        // failures are identical at any thread count.
+                        FaultScope fault_scope(i);
+                        Result<R> result = worker.evaluate(i, values);
+                        if (result.ok()) {
+                            outcome.results[i] = result.value();
+                            outcome.completed[i] = 1;
+                            if (journal != nullptr)
+                                journal->record(i, grid.pointFingerprint(i),
+                                                &outcome.results[i]);
+                        } else {
+                            Diagnostic diag = result.takeDiag();
+                            diag.severity = Severity::kWarning;
+                            emitDiagnostic(diag);
+                            local_failures.push_back({i, std::move(diag)});
+                            if (worker.recover)
+                                worker.recover();
+                        }
+                    }
+                    if (!local_failures.empty()) {
+                        std::lock_guard<std::mutex> lock(failures_mutex);
+                        outcome.failures.insert(
+                            outcome.failures.end(),
+                            std::make_move_iterator(local_failures.begin()),
+                            std::make_move_iterator(local_failures.end()));
+                    }
+                };
+            },
+            threads);
+
+        std::sort(outcome.failures.begin(), outcome.failures.end(),
+                  [](const PointFailure& a, const PointFailure& b) {
+                      return a.index < b.index;
+                  });
+        outcome.evaluated = evaluated.load();
+        outcome.restored = restored.load();
+        switch (stop_cause.load()) {
+          case 1:
+            outcome.stopped = true;
+            outcome.stopReason = Diagnostic(
+                ErrorCode::kDeadlineExceeded,
+                strCat("sweep deadline of ", limits.deadlineSeconds,
+                       "s expired"),
+                "sweep");
+            break;
+          case 2:
+            outcome.stopped = true;
+            outcome.stopReason = Diagnostic(ErrorCode::kCancelled,
+                                            "sweep cancelled", "sweep");
+            break;
+          case 3:
+            outcome.stopped = true;
+            outcome.stopReason = Diagnostic(
+                ErrorCode::kCancelled,
+                strCat("sweep point budget of ", limits.pointBudget,
+                       " exhausted"),
+                "sweep");
+            break;
+          default:
+            break;
+        }
+        if (journal != nullptr)
+            journal->flush();
+        return outcome;
     }
 };
 

@@ -9,6 +9,7 @@
 #include "src/dialect/memref/memref_ops.h"
 #include "src/sim/dataflow_sim.h"
 #include "src/support/diagnostics.h"
+#include "src/support/fault_inject.h"
 #include "src/support/utils.h"
 
 namespace hida {
@@ -879,6 +880,32 @@ QorEstimator::estimateFunc(FuncOp func)
     if (interval > 0.0 && qor.latencyCycles > 0)
         qor.intervalCycles = std::max(qor.intervalCycles, interval);
     return qor;
+}
+
+Result<DesignQor>
+QorEstimator::estimateFuncChecked(FuncOp func)
+{
+    // Input validation as returned diagnostics: a sweep point handing
+    // the estimator a broken design is per-point data, not a reason to
+    // kill every worker (the old HIDA_ASSERT/HIDA_FATAL contract).
+    if (!func || func.op() == nullptr)
+        return Diagnostic(ErrorCode::kEstimatorInvalidInput,
+                          "no function to estimate", "estimateFunc");
+    if (func.body() == nullptr)
+        return Diagnostic(ErrorCode::kEstimatorInvalidInput,
+                          "function has no body",
+                          strCat("func @", func.symName()));
+    if (device_.freqMhz <= 0.0)
+        return Diagnostic(ErrorCode::kEstimatorInvalidInput,
+                          strCat("device clock ", device_.freqMhz,
+                                 " MHz is not positive"),
+                          "estimateFunc");
+    // Check the verdict before building the site string: the disabled
+    // path runs once per sweep point and must stay allocation-free.
+    if (shouldInjectFault(FaultSite::kEstimator))
+        return *maybeInjectFault(FaultSite::kEstimator,
+                                 strCat("func @", func.symName()));
+    return estimateFunc(func);
 }
 
 } // namespace hida

@@ -27,6 +27,7 @@
 #include "src/estimator/device.h"
 #include "src/ir/builtin_ops.h"
 #include "src/sim/dataflow_sim.h"
+#include "src/support/diagnostics.h"
 
 namespace hida {
 
@@ -122,6 +123,15 @@ class QorEstimator {
 
     /** Estimate the design rooted at @p func (body latency + resources). */
     DesignQor estimateFunc(FuncOp func);
+
+    /**
+     * Recoverable estimateFunc for per-point/per-request callers:
+     * validates the input (non-null function with a body, sane device
+     * model) and returns a kEstimatorInvalidInput Diagnostic instead of
+     * asserting, and honors the FaultSite::kEstimator injection hook.
+     * On success the estimate is identical to estimateFunc().
+     */
+    Result<DesignQor> estimateFuncChecked(FuncOp func);
 
     /** Estimate one node in isolation (used by the intra-node DSE). */
     DesignQor estimateNode(NodeOp node);

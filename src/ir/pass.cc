@@ -4,8 +4,21 @@
 
 #include "src/ir/verifier.h"
 #include "src/support/diagnostics.h"
+#include "src/support/fault_inject.h"
 
 namespace hida {
+
+std::optional<Diagnostic>
+Pass::runChecked(ModuleOp module)
+{
+    // Check the verdict before building the site string: the disabled
+    // path runs once per sweep point and must stay allocation-free.
+    if (shouldInjectFault(FaultSite::kPass))
+        return maybeInjectFault(FaultSite::kPass,
+                                strCat("pass '", name_, "'"));
+    runOnModule(module);
+    return std::nullopt;
+}
 
 void
 PassManager::run(ModuleOp module)

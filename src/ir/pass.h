@@ -9,11 +9,13 @@
  */
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/ir/builtin_ops.h"
+#include "src/support/diagnostics.h"
 
 namespace hida {
 
@@ -25,6 +27,16 @@ class Pass {
 
     const std::string& name() const { return name_; }
     virtual void runOnModule(ModuleOp module) = 0;
+
+    /**
+     * Recoverable entry point for per-point/per-request pipelines: runs
+     * the pass and reports failure as a kPassFailed Diagnostic instead
+     * of killing the process. Honors the FaultSite::kPass injection
+     * hook; pass subclasses that learn to fail should surface it here.
+     * The module may be left half-transformed on failure — callers own
+     * recovery (a sweep worker rebuilds its clone, see src/dse/sweep.h).
+     */
+    std::optional<Diagnostic> runChecked(ModuleOp module);
 
   private:
     std::string name_;

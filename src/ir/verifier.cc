@@ -4,6 +4,7 @@
 #include "src/ir/printer.h"
 #include "src/ir/registry.h"
 #include "src/support/diagnostics.h"
+#include "src/support/fault_inject.h"
 
 namespace hida {
 
@@ -99,6 +100,19 @@ verifyOrDie(Operation* root)
     if (auto error = verify(root)) {
         HIDA_PANIC("IR verification failed: ", *error, "\n", toString(root));
     }
+}
+
+std::optional<Diagnostic>
+verifyToDiagnostic(Operation* root, const std::string& what)
+{
+    std::string where =
+        what.empty() ? strCat("'", root->name(), "'")
+                     : strCat(what, " ('", root->name(), "')");
+    if (auto injected = maybeInjectFault(FaultSite::kVerifier, where))
+        return injected;
+    if (auto error = verify(root))
+        return Diagnostic(ErrorCode::kVerifyFailed, *error, where);
+    return std::nullopt;
 }
 
 } // namespace hida

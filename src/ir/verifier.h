@@ -10,6 +10,8 @@
 #include <optional>
 #include <string>
 
+#include "src/support/diagnostics.h"
+
 namespace hida {
 
 class Operation;
@@ -22,6 +24,16 @@ std::optional<std::string> verify(Operation* root);
 
 /** Verify and panic with the error message on failure (for tests/passes). */
 void verifyOrDie(Operation* root);
+
+/**
+ * Recoverable verification: returns a kVerifyFailed Diagnostic instead
+ * of aborting, so a sweep can reject a bad prototype (or a bad point)
+ * as data before any worker starts. Honors the FaultSite::kVerifier
+ * injection hook (src/support/fault_inject.h). @p what names the
+ * subject in the diagnostic path (e.g. "sweep prototype").
+ */
+std::optional<Diagnostic> verifyToDiagnostic(Operation* root,
+                                             const std::string& what = "");
 
 } // namespace hida
 

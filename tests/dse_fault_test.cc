@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Robustness tests for the resilient DSE engine (runResilient): fault
+ * isolation, deterministic fault injection, stop conditions (deadline /
+ * cancel / point budget) and the checkpoint journal.
+ *
+ * The pinned contracts:
+ *  - Injected failures land at the exact same grid points at 1, 2 or 4
+ *    workers, and surviving points are bit-identical to a clean run —
+ *    the fault key is the grid index, never a thread or a clock.
+ *  - Failures surface as PointFailure records in grid order; the sweep
+ *    itself never dies.
+ *  - An interrupted sweep (point budget here; wall-clock deadline in the
+ *    benches) resumed from its journal reproduces the clean run's
+ *    results byte-exactly, including across a truncated or corrupted
+ *    journal tail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/driver.h"
+#include "src/dse/grid.h"
+#include "src/dse/journal.h"
+#include "src/dse/sweep.h"
+#include "src/estimator/qor.h"
+#include "src/models/dnn_models.h"
+#include "src/support/fault_inject.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+namespace {
+
+bool
+qorEq(const DesignQor& a, const DesignQor& b)
+{
+    return a.latencyCycles == b.latencyCycles &&
+           a.intervalCycles == b.intervalCycles && a.res.dsp == b.res.dsp &&
+           a.res.bram18k == b.res.bram18k && a.res.lut == b.res.lut &&
+           a.res.ff == b.res.ff;
+}
+
+/**
+ * Shared LeNet sweep setup (one compile for the whole suite): the same
+ * prototype + 48-point Table 1 sub-grid as dse_parallel_test, evaluated
+ * through the resilient CloneSweepWorker recipe of the fig1 bench.
+ */
+struct LeNetSweep {
+    TargetDevice device = TargetDevice::pynqZ2();
+    OwnedModule prototype;
+    FlowOptions partitionOptions;
+    DesignPointGrid grid;
+    std::vector<DesignQor> clean;  ///< Legacy-engine reference results.
+
+    LeNetSweep() : prototype(buildLeNet(1))
+    {
+        FlowOptions options = optionsFor(Flow::kHida);
+        options.enableTiling = false;
+        options.enableParallelization = false;
+        compile(prototype.get(), options, device);
+        partitionOptions = options;
+        partitionOptions.enableParallelization = true;
+
+        grid.addDirectiveAxis("kpf1", {1, 3}, 1, "kpf_loop");
+        grid.addDirectiveAxis("kpf2", {1, 4, 16}, 2, "kpf_loop");
+        grid.addDirectiveAxis("cpf2", {1, 6}, 2, "cpf_loop");
+        grid.addDirectiveAxis("kpf3", {2, 8}, 3, "kpf_loop");
+        grid.addDirectiveAxis("cpf3", {1, 16}, 3, "cpf_loop");
+
+        clean = ShardedSweep::run<DesignQor>(
+            grid,
+            [this]() {
+                auto w = std::make_shared<CloneSweepWorker>(
+                    prototype.get(),
+                    createArrayPartitionPass(partitionOptions), device);
+                return [w, this](size_t, const std::vector<int64_t>& vals) {
+                    return w->evaluate(grid, vals);
+                };
+            },
+            2);
+    }
+
+    std::function<ResilientWorker<DesignQor>()>
+    factory()
+    {
+        return [this]() {
+            auto w = std::make_shared<CloneSweepWorker>(
+                prototype.get(), createArrayPartitionPass(partitionOptions),
+                device);
+            ResilientWorker<DesignQor> worker;
+            worker.evaluate =
+                [w, this](size_t,
+                          const std::vector<int64_t>& vals)
+                -> Result<DesignQor> {
+                return w->evaluateChecked(grid, vals);
+            };
+            worker.recover = [w]() { w->rebuild(); };
+            return worker;
+        };
+    }
+
+    SweepOutcome<DesignQor>
+    run(unsigned threads, const SweepLimits& limits = SweepLimits())
+    {
+        return ShardedSweep::runResilient<DesignQor>(grid, factory(),
+                                                     threads, limits);
+    }
+};
+
+/** One compile for the whole suite; tests only read it. */
+LeNetSweep&
+lenet()
+{
+    static LeNetSweep sweep;
+    return sweep;
+}
+
+/** Resets the process-wide fault config so tests cannot leak faults. */
+class DseFaultTest : public ::testing::Test {
+  protected:
+    void TearDown() override { setFaultConfig(FaultConfig()); }
+};
+
+std::string
+tempJournalPath(const std::string& name)
+{
+    std::string path = ::testing::TempDir() + "hida_" + name + ".jrnl";
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    return path;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault isolation and determinism
+//===----------------------------------------------------------------------===//
+
+TEST_F(DseFaultTest, CleanResilientRunMatchesLegacyEngine)
+{
+    LeNetSweep& s = lenet();
+    SweepOutcome<DesignQor> outcome = s.run(4);
+    ASSERT_EQ(outcome.results.size(), s.grid.size());
+    EXPECT_TRUE(outcome.allCompleted());
+    EXPECT_TRUE(outcome.failures.empty());
+    EXPECT_FALSE(outcome.stopped);
+    EXPECT_EQ(outcome.evaluated, s.grid.size());
+    EXPECT_EQ(outcome.restored, 0u);
+    for (size_t i = 0; i < s.grid.size(); ++i)
+        EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i])) << "point " << i;
+}
+
+TEST_F(DseFaultTest, InjectedFailuresIdenticalAtAnyThreadCount)
+{
+    LeNetSweep& s = lenet();
+    FaultConfig config;
+    config.enabled = true;
+    config.siteMask = faultSiteBit(FaultSite::kEstimator);
+    config.seed = 42;
+    config.rate = 0.25;
+    setFaultConfig(config);
+
+    std::vector<size_t> reference;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SweepOutcome<DesignQor> outcome = s.run(threads);
+        EXPECT_FALSE(outcome.stopped);
+
+        // (b) failures arrive in grid order as structured records.
+        std::vector<size_t> failed;
+        for (size_t f = 0; f < outcome.failures.size(); ++f) {
+            const PointFailure& failure = outcome.failures[f];
+            if (f > 0)
+                EXPECT_LT(outcome.failures[f - 1].index, failure.index);
+            EXPECT_EQ(failure.diag.code, ErrorCode::kFaultInjected);
+            EXPECT_FALSE(outcome.completed[failure.index]);
+            failed.push_back(failure.index);
+        }
+        ASSERT_FALSE(failed.empty()) << "seed injected nothing";
+        ASSERT_LT(failed.size(), s.grid.size()) << "seed killed every point";
+
+        // Failure *set* is a function of (seed, site, index) only.
+        if (threads == 1)
+            reference = failed;
+        else
+            EXPECT_EQ(failed, reference) << "threads=" << threads;
+
+        // (a) survivors are bit-identical to the clean run.
+        size_t survivors = 0;
+        for (size_t i = 0; i < s.grid.size(); ++i) {
+            if (!outcome.completed[i])
+                continue;
+            ++survivors;
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "surviving point " << i << " diverged at threads="
+                << threads;
+        }
+        EXPECT_EQ(survivors + failed.size(), s.grid.size());
+    }
+}
+
+TEST_F(DseFaultTest, WorkerRecoversAfterMidPipelineFault)
+{
+    // Pass-site faults fire *after* applyPoint touched the worker's
+    // clone: the recover hook (rebuild from the prototype) is what keeps
+    // later points on that worker bit-identical to a clean run.
+    LeNetSweep& s = lenet();
+    FaultConfig config;
+    config.enabled = true;
+    config.siteMask = faultSiteBit(FaultSite::kPass);
+    config.seed = 7;
+    config.rate = 0.2;
+    setFaultConfig(config);
+
+    SweepOutcome<DesignQor> outcome = s.run(2);
+    ASSERT_FALSE(outcome.failures.empty());
+    for (const PointFailure& failure : outcome.failures)
+        EXPECT_EQ(failure.diag.code, ErrorCode::kFaultInjected);
+    for (size_t i = 0; i < s.grid.size(); ++i)
+        if (outcome.completed[i])
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i << " after a recovery";
+}
+
+TEST_F(DseFaultTest, PrototypeVerifierFaultSurfacesBeforeTheSweep)
+{
+    LeNetSweep& s = lenet();
+    EXPECT_FALSE(verifySweepPrototype(s.prototype.get()).has_value());
+
+    FaultConfig config;
+    config.enabled = true;
+    config.siteMask = faultSiteBit(FaultSite::kVerifier);
+    config.seed = 1;
+    config.rate = 1.0;
+    setFaultConfig(config);
+    auto diag = verifySweepPrototype(s.prototype.get());
+    ASSERT_TRUE(diag.has_value());
+    EXPECT_EQ(diag->code, ErrorCode::kFaultInjected);
+}
+
+TEST_F(DseFaultTest, InvalidDirectiveFailsThePointNotTheSweep)
+{
+    LeNetSweep& s = lenet();
+    // A bound axis with a non-positive factor: applyPointChecked rejects
+    // those points before any IR write; the rest of the grid proceeds.
+    DesignPointGrid grid;
+    grid.addDirectiveAxis("kpf1", {0, 3}, 1, "kpf_loop");
+    grid.addDirectiveAxis("kpf3", {2, 8}, 3, "kpf_loop");
+    ASSERT_EQ(grid.size(), 4u);
+
+    SweepOutcome<DesignQor> outcome =
+        ShardedSweep::runResilient<DesignQor>(
+            grid,
+            [&]() {
+                auto w = std::make_shared<CloneSweepWorker>(
+                    s.prototype.get(),
+                    createArrayPartitionPass(s.partitionOptions), s.device);
+                ResilientWorker<DesignQor> worker;
+                worker.evaluate =
+                    [w, &grid](size_t, const std::vector<int64_t>& vals)
+                    -> Result<DesignQor> {
+                    return w->evaluateChecked(grid, vals);
+                };
+                worker.recover = [w]() { w->rebuild(); };
+                return worker;
+            },
+            2);
+
+    // Points 0 and 1 carry kpf1 = 0.
+    ASSERT_EQ(outcome.failures.size(), 2u);
+    EXPECT_EQ(outcome.failures[0].index, 0u);
+    EXPECT_EQ(outcome.failures[1].index, 1u);
+    for (const PointFailure& failure : outcome.failures)
+        EXPECT_EQ(failure.diag.code, ErrorCode::kInvalidDirective);
+    EXPECT_TRUE(outcome.completed[2]);
+    EXPECT_TRUE(outcome.completed[3]);
+    EXPECT_FALSE(outcome.stopped);
+}
+
+//===----------------------------------------------------------------------===//
+// Stop conditions
+//===----------------------------------------------------------------------===//
+
+TEST_F(DseFaultTest, ExpiredDeadlineStopsBetweenPoints)
+{
+    LeNetSweep& s = lenet();
+    SweepLimits limits;
+    limits.deadlineSeconds = 1e-9;  // expired by the first check
+    SweepOutcome<DesignQor> outcome = s.run(2, limits);
+    EXPECT_TRUE(outcome.stopped);
+    ASSERT_TRUE(outcome.stopReason.has_value());
+    EXPECT_EQ(outcome.stopReason->code, ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(outcome.evaluated, 0u);
+    EXPECT_FALSE(outcome.allCompleted());
+    EXPECT_TRUE(outcome.failures.empty());
+}
+
+TEST_F(DseFaultTest, CancelTokenStopsAllShards)
+{
+    LeNetSweep& s = lenet();
+    CancelToken cancel;
+    cancel.cancel();
+    SweepLimits limits;
+    limits.cancel = &cancel;
+    SweepOutcome<DesignQor> outcome = s.run(2, limits);
+    EXPECT_TRUE(outcome.stopped);
+    ASSERT_TRUE(outcome.stopReason.has_value());
+    EXPECT_EQ(outcome.stopReason->code, ErrorCode::kCancelled);
+    EXPECT_EQ(outcome.evaluated, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / resume
+//===----------------------------------------------------------------------===//
+
+TEST_F(DseFaultTest, InterruptedSweepResumesFromJournalByteExactly)
+{
+    LeNetSweep& s = lenet();
+    std::string path = tempJournalPath("resume");
+
+    // Leg 1: one worker, hard point budget — a deterministic "kill" 12
+    // points in. The engine flushes the journal on the way out.
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, s.grid.contentHash(),
+                                  sizeof(DesignQor)));
+        SweepLimits limits;
+        limits.pointBudget = 12;
+        limits.journal = &journal;
+        SweepOutcome<DesignQor> outcome = s.run(1, limits);
+        EXPECT_TRUE(outcome.stopped);
+        ASSERT_TRUE(outcome.stopReason.has_value());
+        EXPECT_EQ(outcome.stopReason->code, ErrorCode::kCancelled);
+        EXPECT_EQ(outcome.evaluated, 12u);
+        EXPECT_FALSE(outcome.allCompleted());
+    }
+
+    // Leg 2: a fresh process would open the journal anew; 4 workers.
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, s.grid.contentHash(),
+                                  sizeof(DesignQor)));
+        EXPECT_EQ(journal.size(), 12u);
+        SweepLimits limits;
+        limits.journal = &journal;
+        SweepOutcome<DesignQor> outcome = s.run(4, limits);
+        EXPECT_TRUE(outcome.allCompleted());
+        EXPECT_FALSE(outcome.stopped);
+        EXPECT_EQ(outcome.restored, 12u);
+        EXPECT_EQ(outcome.evaluated, s.grid.size() - 12u);
+        // The resumed run's merged results are the clean run's results —
+        // restored points byte-exactly, re-evaluated points by the
+        // engine's determinism. This is the output_sha256 guarantee.
+        for (size_t i = 0; i < s.grid.size(); ++i)
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(DseFaultTest, CorruptedJournalTailIsDroppedAndResumeStillMatches)
+{
+    LeNetSweep& s = lenet();
+    std::string path = tempJournalPath("corrupt");
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, s.grid.contentHash(),
+                                  sizeof(DesignQor)));
+        SweepLimits limits;
+        limits.pointBudget = 12;
+        limits.journal = &journal;
+        s.run(1, limits);
+    }
+
+    // Chop off the last 5 bytes — a crash mid-append.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        ASSERT_TRUE(in.good());
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 5u);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 5));
+    }
+
+    {
+        SweepJournal journal;
+        auto diag = journal.open(path, s.grid.contentHash(),
+                                 sizeof(DesignQor));
+        ASSERT_TRUE(diag.has_value());
+        EXPECT_EQ(diag->code, ErrorCode::kJournalCorrupt);
+        EXPECT_EQ(journal.loadStats().restored, 11u);
+        EXPECT_EQ(journal.loadStats().droppedCorrupt, 1u);
+
+        SweepLimits limits;
+        limits.journal = &journal;
+        SweepOutcome<DesignQor> outcome = s.run(2, limits);
+        EXPECT_TRUE(outcome.allCompleted());
+        EXPECT_EQ(outcome.restored, 11u);
+        for (size_t i = 0; i < s.grid.size(); ++i)
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i;
+    }
+    std::remove(path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Journal mechanics (no sweep needed)
+//===----------------------------------------------------------------------===//
+
+TEST(SweepJournalTest, RoundTripsRecordsAcrossInstances)
+{
+    std::string path =
+        ::testing::TempDir() + "hida_journal_roundtrip.jrnl";
+    std::remove(path.c_str());
+    constexpr uint64_t kGrid = 0xfeedULL;
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, kGrid, sizeof(uint64_t)));
+        for (uint64_t i = 0; i < 10; ++i) {
+            uint64_t payload = 1000 + i;
+            journal.record(i, /*fingerprint=*/i * 31, &payload);
+        }
+        journal.flush();
+        EXPECT_EQ(journal.size(), 10u);
+    }
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, kGrid, sizeof(uint64_t)));
+        EXPECT_EQ(journal.loadStats().restored, 10u);
+        uint64_t payload = 0;
+        ASSERT_TRUE(journal.restore(3, 3 * 31, &payload));
+        EXPECT_EQ(payload, 1003u);
+        // Wrong fingerprint: the record is never trusted.
+        EXPECT_FALSE(journal.restore(3, 999, &payload));
+        EXPECT_FALSE(journal.restore(77, 0, &payload));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, BatchingFlushesEveryNRecords)
+{
+    std::string path = ::testing::TempDir() + "hida_journal_batch.jrnl";
+    std::remove(path.c_str());
+
+    SweepJournal writer;
+    ASSERT_FALSE(writer.open(path, 1, sizeof(uint64_t),
+                             /*batch_records=*/4));
+    for (uint64_t i = 0; i < 10; ++i) {
+        uint64_t payload = i;
+        writer.record(i, i, &payload);
+    }
+    // No explicit flush: 8 records (two full batches) must already be
+    // durable; the last partial batch is only in memory.
+    SweepJournal reader;
+    ASSERT_FALSE(reader.open(path, 1, sizeof(uint64_t)));
+    EXPECT_EQ(reader.loadStats().restored, 8u);
+    writer.flush();
+    ASSERT_FALSE(reader.open(path, 1, sizeof(uint64_t)));
+    EXPECT_EQ(reader.loadStats().restored, 10u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, RejectsForeignJournals)
+{
+    std::string path = ::testing::TempDir() + "hida_journal_foreign.jrnl";
+    std::remove(path.c_str());
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, /*grid_hash=*/111,
+                                  sizeof(uint64_t)));
+        uint64_t payload = 5;
+        journal.record(0, 0, &payload);
+        journal.flush();
+    }
+    // Different grid: mismatch, nothing adopted, journal still usable.
+    {
+        SweepJournal journal;
+        auto diag = journal.open(path, /*grid_hash=*/222, sizeof(uint64_t));
+        ASSERT_TRUE(diag.has_value());
+        EXPECT_EQ(diag->code, ErrorCode::kJournalMismatch);
+        EXPECT_TRUE(journal.loadStats().headerMismatch);
+        EXPECT_EQ(journal.size(), 0u);
+    }
+    // Different payload size: also a mismatch, never a misread.
+    {
+        SweepJournal journal;
+        auto diag = journal.open(path, /*grid_hash=*/111, 16);
+        ASSERT_TRUE(diag.has_value());
+        EXPECT_EQ(diag->code, ErrorCode::kJournalMismatch);
+    }
+    // Not a journal at all.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "definitely not a journal";
+    }
+    {
+        SweepJournal journal;
+        auto diag = journal.open(path, 111, sizeof(uint64_t));
+        ASSERT_TRUE(diag.has_value());
+        EXPECT_EQ(diag->code, ErrorCode::kJournalMismatch);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, CorruptedByteInvalidatesOnlyTheTail)
+{
+    std::string path = ::testing::TempDir() + "hida_journal_bitrot.jrnl";
+    std::remove(path.c_str());
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, 9, sizeof(uint64_t)));
+        for (uint64_t i = 0; i < 6; ++i) {
+            uint64_t payload = i * 7;
+            journal.record(i, i, &payload);
+        }
+        journal.flush();
+    }
+    // Flip one payload byte of record 3 (records are written in index
+    // order: 24-byte header + 32 bytes per record, payload at +16).
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const size_t target = 24 + 3 * 32 + 16;
+    ASSERT_GT(bytes.size(), target);
+    bytes[target] = static_cast<char>(bytes[target] ^ 0x5a);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    SweepJournal journal;
+    auto diag = journal.open(path, 9, sizeof(uint64_t));
+    ASSERT_TRUE(diag.has_value());
+    EXPECT_EQ(diag->code, ErrorCode::kJournalCorrupt);
+    // Truncate-to-last-good: records 0-2 survive, 3+ are dropped.
+    EXPECT_EQ(journal.loadStats().restored, 3u);
+    EXPECT_EQ(journal.loadStats().droppedCorrupt, 1u);
+    uint64_t payload = 0;
+    EXPECT_TRUE(journal.restore(2, 2, &payload));
+    EXPECT_EQ(payload, 14u);
+    EXPECT_FALSE(journal.restore(3, 3, &payload));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace hida
