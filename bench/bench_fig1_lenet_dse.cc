@@ -24,6 +24,23 @@
  *   HIDA_SWEEP_DEADLINE_MS=<ms>   wall-clock budget per sweep.
  * On a clean, unlimited run stdout is byte-identical to the fault-free
  * engine (the bench.sh serial-vs-sharded sha gate proves it).
+ *
+ * The sweep itself is strategy-driven (src/dse/strategy.h):
+ *   HIDA_DSE_STRATEGY=exhaustive|random|lhs|evolve   search strategy
+ *                                 (default exhaustive — byte-identical
+ *                                 stdout to the pre-strategy bench);
+ *   HIDA_DSE_SEED=<n>             root of every sampling decision;
+ *   HIDA_DSE_BUDGET=<n>           points per (mode, batch) sweep a
+ *                                 sampling strategy may propose
+ *                                 (default 10% of the grid);
+ *   HIDA_DSE_STATS=<path>         write a JSON stats record (points
+ *                                 proposed/evaluated, Pareto coverage
+ *                                 vs the exhaustive reference, cache
+ *                                 hit rate) for bench.sh to fold into
+ *                                 BENCH_dse.json.
+ * A sampling run additionally sweeps the exhaustive reference front per
+ * (mode, batch) to report *true* Pareto coverage — the acceptance
+ * metric (evolve: >= 95% coverage at <= 10% of the points).
  */
 
 #include <algorithm>
@@ -35,6 +52,7 @@
 
 #include "src/dialect/affine/affine_ops.h"
 #include "src/driver/driver.h"
+#include "src/dse/strategy.h"
 #include "src/dse/sweep.h"
 #include "src/models/dnn_models.h"
 #include "src/transforms/passes.h"
@@ -128,10 +146,23 @@ main()
     const DesignPointGrid grid = factorGrid();
     const unsigned threads = dseThreadCount();
 
+    // Strategy selection: HIDA_DSE_STRATEGY/SEED/BUDGET (an unknown
+    // strategy is a user error — exit kFatalExitCode, never a silent
+    // exhaustive fallback). The feasibility limit feeds evolve's parent
+    // filter: over-utilized points never breed.
+    StrategyOptions strategy_options = strategyOptionsFromEnv();
+    strategy_options.costLimit = 1.05;
+    const bool sampled =
+        strategy_options.kind != StrategyKind::kExhaustive;
+
     const char* journal_prefix = std::getenv("HIDA_SWEEP_JOURNAL");
     const double deadline_seconds = sweepDeadlineSeconds();
     size_t total_failures = 0, total_restored = 0;
     bool any_stopped = false;
+    StrategySweepStats total_stats;
+    // True-coverage accounting vs the per-(mode, batch) exhaustive
+    // reference fronts (sampling runs only).
+    size_t front_covered = 0, front_total = 0;
 
     std::vector<Point> points;
     for (bool dataflow : {true, false}) {
@@ -169,9 +200,8 @@ main()
                 limits.journal = &journal;
             }
 
-            SweepOutcome<Point> outcome = ShardedSweep::runResilient<Point>(
-                grid,
-                [&]() {
+            std::function<ResilientWorker<Point>()> factory =
+                [&grid, &module, &partition_options, &device, batch]() {
                     auto w = std::make_shared<CloneSweepWorker>(
                         module.get(),
                         createArrayPartitionPass(partition_options), device);
@@ -190,16 +220,33 @@ main()
                         return point;
                     };
                     worker.recover = [w]() { w->rebuild(); };
+                    worker.cacheStats = [w]() {
+                        return w->estimator.cacheStats();
+                    };
                     return worker;
+                };
+
+            std::unique_ptr<SearchStrategy> strategy =
+                makeStrategy(grid, strategy_options);
+            StrategyOutcome<Point> outcome = runStrategySweep<Point>(
+                grid, *strategy, factory,
+                [](size_t index, const Point& p) {
+                    return ParetoSample{index, p.util, p.throughput};
                 },
                 threads, limits);
 
             total_failures += outcome.failures.size();
-            total_restored += outcome.restored;
-            if (outcome.stopped) {
+            total_restored += outcome.stats.restored;
+            total_stats.batches += outcome.stats.batches;
+            total_stats.proposed += outcome.stats.proposed;
+            total_stats.evaluated += outcome.stats.evaluated;
+            total_stats.restored += outcome.stats.restored;
+            total_stats.cache += outcome.stats.cache;
+            if (outcome.stats.stopped) {
                 any_stopped = true;
-                if (outcome.stopReason)
-                    emitDiagnostic(*outcome.stopReason);
+                total_stats.stopped = true;
+                if (outcome.stats.stopReason)
+                    emitDiagnostic(*outcome.stats.stopReason);
             }
 
             // Deterministic merge: grid order, same filter as the serial
@@ -212,6 +259,43 @@ main()
                 if (point.util <= 1.05)
                     points.push_back(point);
             }
+
+            // Sampling runs report *true* Pareto coverage: sweep the
+            // exhaustive reference front of this (mode, batch) config
+            // and count how much of it the sample dominates-or-equals.
+            if (sampled) {
+                SweepOutcome<Point> reference =
+                    ShardedSweep::runResilient<Point>(grid, factory,
+                                                      threads);
+                std::vector<ParetoSample> feasible;
+                for (size_t i = 0; i < reference.results.size(); ++i) {
+                    if (!reference.completed[i])
+                        continue;
+                    const Point& p = reference.results[i];
+                    if (p.util <= 1.05)
+                        feasible.push_back({i, p.util, p.throughput});
+                }
+                std::vector<ParetoSample> ref_front =
+                    paretoFrontOf(std::move(feasible));
+                ParetoArchive found;
+                for (size_t i = 0; i < outcome.results.size(); ++i) {
+                    if (!outcome.completed[i])
+                        continue;
+                    const Point& p = outcome.results[i];
+                    if (p.util <= 1.05)
+                        found.insert({i, p.util, p.throughput});
+                }
+                size_t covered_here = 0;
+                for (const ParetoSample& s : ref_front)
+                    if (found.covers(s))
+                        ++covered_here;
+                front_covered += covered_here;
+                front_total += ref_front.size();
+                inform(strCat("reference front (",
+                              dataflow ? "df" : "nodf", " b", batch,
+                              "): ", covered_here, "/", ref_front.size(),
+                              " points covered"));
+            }
         }
     }
     if (total_failures > 0 || total_restored > 0 || any_stopped)
@@ -219,6 +303,64 @@ main()
                       " failed point(s), ", total_restored,
                       " restored from journal",
                       any_stopped ? ", stopped before completion" : ""));
+
+    const double coverage_pct =
+        front_total == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(front_covered) /
+                  static_cast<double>(front_total);
+    // Sampling summary on stdout only for sampling runs: the default
+    // exhaustive stdout stays byte-identical to the pre-strategy bench
+    // (the bench.sh output_sha256 gate depends on it).
+    if (sampled) {
+        std::printf("DSE strategy %s (seed %llu): proposed %zu of %zu "
+                    "points, evaluated %zu, Pareto coverage %.1f%%\n",
+                    strategyKindName(strategy_options.kind).data(),
+                    static_cast<unsigned long long>(strategy_options.seed),
+                    total_stats.proposed,
+                    grid.size() * 2 * batches.size(), total_stats.evaluated,
+                    coverage_pct);
+        // The memo hit rate depends on how points land on workers, so
+        // it varies with HIDA_BENCH_THREADS — keep it off stdout, which
+        // must stay bit-identical for a fixed seed at any thread count.
+        inform(strCat("estimator memo hit rate ",
+                      static_cast<size_t>(
+                          total_stats.cache.memoHitRate() * 1000.0),
+                      "/1000"));
+    }
+
+    // Machine-readable stats for bench.sh / BENCH_dse.json.
+    if (const char* stats_path = std::getenv("HIDA_DSE_STATS")) {
+        if (*stats_path != '\0') {
+            std::FILE* f = std::fopen(stats_path, "w");
+            if (f == nullptr) {
+                HIDA_FATAL("cannot write HIDA_DSE_STATS file '", stats_path,
+                           "'");
+            }
+            std::fprintf(
+                f,
+                "{\n"
+                "  \"strategy\": \"%s\",\n"
+                "  \"seed\": %llu,\n"
+                "  \"grid_points\": %zu,\n"
+                "  \"points_proposed\": %zu,\n"
+                "  \"points_evaluated\": %zu,\n"
+                "  \"points_restored\": %zu,\n"
+                "  \"batches\": %zu,\n"
+                "  \"pareto_coverage_pct\": %.2f,\n"
+                "  \"cache_hit_rate_pct\": %.2f,\n"
+                "  \"stopped\": %s\n"
+                "}\n",
+                strategyKindName(strategy_options.kind).data(),
+                static_cast<unsigned long long>(strategy_options.seed),
+                grid.size() * 2 * batches.size(), total_stats.proposed,
+                total_stats.evaluated, total_stats.restored,
+                total_stats.batches, coverage_pct,
+                total_stats.cache.memoHitRate() * 100.0,
+                total_stats.stopped ? "true" : "false");
+            std::fclose(f);
+        }
+    }
 
     std::printf("Figure 1: LeNet exhaustive design space (PYNQ-Z2), "
                 "%zu feasible of 24000 points\n", points.size());

@@ -7,14 +7,36 @@
 #   bench_compile_time     - google-benchmark pipeline microbenchmarks
 #                            (Tables 7/8 compile-time columns).
 #
-# Emits BENCH_dse.json (points/sec of the DSE sweep plus the raw output
-# hash so result drift is detectable) and BENCH_compile_time.json (the
+# Emits BENCH_dse.json (points/sec of the DSE sweep, the raw output
+# hash so result drift is detectable, and the active search strategy's
+# proposed/evaluated/coverage stats) and BENCH_compile_time.json (the
 # google-benchmark JSON report). Run from anywhere inside the repo.
+#
+# HIDA_DSE_STRATEGY selects the sweep's search strategy (exhaustive,
+# the default, is the regression-gated trajectory; random/lhs/evolve
+# sample the grid — their output hash intentionally differs from the
+# exhaustive baseline). An unknown strategy fails here with exit 65
+# (the user-error code the benches themselves use) before any build.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 cd "$REPO_ROOT"
+
+# Validate the strategy before spending anything on a build: a typo'd
+# HIDA_DSE_STRATEGY must fail immediately, never fall back to a silent
+# (and expensive) exhaustive run.
+DSE_STRATEGY="${HIDA_DSE_STRATEGY:-exhaustive}"
+case "$DSE_STRATEGY" in
+    exhaustive|random|lhs|evolve) ;;
+    *)
+        echo "FAIL: unknown HIDA_DSE_STRATEGY '$DSE_STRATEGY'" \
+             "(expected exhaustive|random|lhs|evolve)" >&2
+        exit 65
+        ;;
+esac
+echo "DSE strategy: $DSE_STRATEGY (seed ${HIDA_DSE_SEED:-42}," \
+     "budget ${HIDA_DSE_BUDGET:-10% of grid})"
 
 # Fail loudly, never partially: every BENCH json is staged to a .tmp and
 # only renamed into place after its producer succeeded, and the ERR trap
@@ -59,8 +81,14 @@ serial_wall_s=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
 serial_pps=$(awk "BEGIN { printf \"%.1f\", $DSE_POINTS / $serial_wall_s }")
 serial_sha=$(sha256sum "$DSE_OUT.serial" | cut -d' ' -f1)
 
+# The sharded run also emits the strategy's machine-readable stats
+# (points proposed/evaluated, Pareto coverage, cache hit rate), folded
+# into BENCH_dse.json below.
+DSE_STATS="$BUILD_DIR/bench_fig1_lenet_dse.stats.json"
+rm -f "$DSE_STATS"
 start_ns=$(date +%s%N)
-HIDA_BENCH_THREADS="$THREADS" "$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT"
+HIDA_BENCH_THREADS="$THREADS" HIDA_DSE_STATS="$DSE_STATS" \
+    "$BUILD_DIR/bench_fig1_lenet_dse" > "$DSE_OUT"
 end_ns=$(date +%s%N)
 wall_s=$(awk "BEGIN { printf \"%.3f\", ($end_ns - $start_ns) / 1e9 }")
 pps=$(awk "BEGIN { printf \"%.1f\", $DSE_POINTS / $wall_s }")
@@ -84,6 +112,7 @@ cat > "$REPO_ROOT/BENCH_dse.json.tmp" <<EOF
   "threads": $THREADS,
   "hardware_concurrency": $HW_CONCURRENCY,
   "output_sha256": "$out_sha",
+  "strategy": $(cat "$DSE_STATS"),
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "commit": "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 }

@@ -69,6 +69,34 @@ DesignPointGrid::point(size_t index) const
     return values;
 }
 
+void
+DesignPointGrid::decodeValueIndices(size_t index,
+                                    std::vector<size_t>& out) const
+{
+    HIDA_ASSERT(index < size(), "point index out of range");
+    out.resize(axes_.size());
+    for (size_t i = axes_.size(); i-- > 0;) {
+        size_t n = axes_[i].values.size();
+        out[i] = index % n;
+        index /= n;
+    }
+}
+
+size_t
+DesignPointGrid::encode(const std::vector<size_t>& value_indices) const
+{
+    HIDA_ASSERT(value_indices.size() == axes_.size(),
+                "value-index/axis count mismatch");
+    size_t index = 0;
+    for (size_t i = 0; i < axes_.size(); ++i) {
+        size_t n = axes_[i].values.size();
+        HIDA_ASSERT(value_indices[i] < n, "value index out of range on axis ",
+                    axes_[i].name);
+        index = index * n + value_indices[i];
+    }
+    return index;
+}
+
 namespace {
 
 uint64_t

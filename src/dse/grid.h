@@ -10,6 +10,14 @@
  * benches with one shared representation the sharded executor
  * (src/dse/sweep.h) can split across worker threads while keeping the
  * serial enumeration order for result merging.
+ *
+ * Thread-safety: a DesignPointGrid has no internal synchronization.
+ * Build it (addAxis/addDirectiveAxis) on one thread; afterwards every
+ * const accessor (size/decode/pointFingerprint/contentHash/...) is
+ * safe to call concurrently — sweep workers share one const grid by
+ * design. applyPoint mutates the *module* it is given, never the
+ * grid, so it follows the per-worker module rules (ROADMAP "Threading
+ * model"): only ever aim it at the calling worker's own tree.
  */
 
 #include <cstdint>
@@ -75,6 +83,21 @@ class DesignPointGrid {
     void decode(size_t index, std::vector<int64_t>& values) const;
     /** Allocating convenience wrapper around decode(). */
     std::vector<int64_t> point(size_t index) const;
+
+    /**
+     * Decode linear @p index into per-axis *value indices* (positions
+     * within each axis's value list, axis 0 slowest) — the coordinate
+     * form the sampling strategies mutate (step a value index +/-1 to
+     * reach a neighboring design point). @p out is resized to
+     * numAxes().
+     */
+    void decodeValueIndices(size_t index, std::vector<size_t>& out) const;
+
+    /**
+     * Inverse of decodeValueIndices(): linear point index of the given
+     * per-axis value indices (asserts each index is within its axis).
+     */
+    size_t encode(const std::vector<size_t>& value_indices) const;
 
     /**
      * Process-independent structural hash of the grid: axis names,

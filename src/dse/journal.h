@@ -22,10 +22,15 @@
  *    (the dropped points are simply re-evaluated); corruption is
  *    reported, never fatal.
  *
- * Thread safety: record()/restore()/flush() are serialized by one
- * internal mutex — sweep workers share a journal by design. Restored
- * payloads are byte-exact copies of what the dead run computed, which
- * is what lets a resumed sweep reproduce a clean run's output hash.
+ * Thread safety: record()/restore()/flush()/size() are serialized by
+ * one internal mutex — sweep workers share a journal by design (the
+ * one deliberate exception to the ROADMAP's strictly-per-worker rule,
+ * like the failure-merge lock). open() is NOT serialized: bind and
+ * load on the driver thread before any worker touches the journal.
+ * payloadSize() and loadStats() are written only by open(), so they
+ * are safe to read concurrently afterwards. Restored payloads are
+ * byte-exact copies of what the dead run computed, which is what lets
+ * a resumed sweep reproduce a clean run's output hash.
  */
 
 #include <cstddef>
@@ -62,6 +67,9 @@ class SweepJournal {
      * journal is usable either way (mismatched files are ignored and
      * overwritten by the next flush). Appends are batched: every
      * @p batch_records completions trigger a snapshot flush.
+     *
+     * Driver-thread only — open() takes no lock; workers may share the
+     * journal (record/restore/flush) only after it returns.
      */
     std::optional<Diagnostic> open(std::string path, uint64_t grid_hash,
                                    size_t payload_size,

@@ -130,6 +130,14 @@ struct ResilientWorker {
     std::function<Result<R>(size_t index, const std::vector<int64_t>&)>
         evaluate;
     std::function<void()> recover;
+    /**
+     * Optional: the worker's aggregate estimator cache counters,
+     * sampled once when the worker retires (on the worker's own thread
+     * — QorCacheStats folds thread_local subtree-hash counters). The
+     * strategy executor (src/dse/strategy.h) sums these across workers
+     * to prove warm-cache behavior; plain runResilient ignores it.
+     */
+    std::function<QorCacheStats()> cacheStats;
 };
 
 /**

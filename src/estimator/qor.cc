@@ -137,6 +137,20 @@ QorEstimator::bufferAccessHash(Operation* buffer)
     return h;
 }
 
+QorCacheStats&
+operator+=(QorCacheStats& lhs, const QorCacheStats& rhs)
+{
+    lhs.hits += rhs.hits;
+    lhs.misses += rhs.misses;
+    lhs.hashCacheHits += rhs.hashCacheHits;
+    lhs.hashRecomputes += rhs.hashRecomputes;
+    lhs.scheduleBuilds += rhs.scheduleBuilds;
+    lhs.scheduleReuses += rhs.scheduleReuses;
+    lhs.simRuns += rhs.simRuns;
+    lhs.simSkips += rhs.simSkips;
+    return lhs;
+}
+
 QorCacheStats
 QorEstimator::cacheStats() const
 {

@@ -63,7 +63,26 @@ struct QorCacheStats {
     uint64_t scheduleReuses = 0;  ///< Warm passes reusing a cached skeleton.
     uint64_t simRuns = 0;         ///< Dataflow simulations executed.
     uint64_t simSkips = 0;        ///< Simulations skipped (cached SimResult).
+
+    /** Node/loop memo hit fraction (0 when nothing was estimated) —
+     * the number the Pareto-guided strategies are tuned on: neighbor
+     * points that mutate few directives should keep this high. */
+    double
+    memoHitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
 };
+
+/**
+ * Sum every counter of @p rhs into @p lhs. Each sharded-sweep worker
+ * owns a private estimator; the strategy executor folds their stats
+ * into one process view with this when workers finish.
+ */
+QorCacheStats& operator+=(QorCacheStats& lhs, const QorCacheStats& rhs);
 
 /**
  * Estimates latency, interval and resources of Structural-dataflow IR.
