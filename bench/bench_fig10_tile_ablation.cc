@@ -40,7 +40,7 @@ main()
                 return compile(module.get(), options, device);
             };
         },
-        dseThreadCount());
+        dseThreadCount(), sweepScheduleFromEnv());
 
     std::printf("Figure 10: ResNet-18 parallel factor x tile size ablation "
                 "(VU9P one SLR)\n");

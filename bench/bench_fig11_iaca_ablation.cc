@@ -53,7 +53,7 @@ main()
                 return compile(module.get(), options, device);
             };
         },
-        dseThreadCount());
+        dseThreadCount(), sweepScheduleFromEnv());
 
     std::printf("Figure 11: ResNet-18 IA/CA ablation (VU9P one SLR)\n");
     std::printf("%-7s %6s %8s %8s %14s %10s\n", "Arm", "PF", "DSP", "BRAM",

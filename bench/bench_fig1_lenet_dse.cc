@@ -30,6 +30,11 @@
  *                                 (default exhaustive — byte-identical
  *                                 stdout to the pre-strategy bench);
  *   HIDA_DSE_SEED=<n>             root of every sampling decision;
+ *   HIDA_DSE_ORDER=gray|row-major evaluation order (gray: consecutive
+ *                                 points mutate one directive — max
+ *                                 estimator memo reuse);
+ *   HIDA_DSE_SCHED=steal|static   worker scheduling (steal: dry workers
+ *                                 adopt straggler slices);
  *   HIDA_DSE_BUDGET=<n>           points per (mode, batch) sweep a
  *                                 sampling strategy may propose
  *                                 (default 10% of the grid);
@@ -55,6 +60,7 @@
 #include "src/dse/strategy.h"
 #include "src/dse/sweep.h"
 #include "src/models/dnn_models.h"
+#include "src/support/env.h"
 #include "src/transforms/passes.h"
 
 using namespace hida;
@@ -106,16 +112,13 @@ factorGrid()
     return grid;
 }
 
-/** Wall-clock budget per sweep from HIDA_SWEEP_DEADLINE_MS (0: none). */
+/** Wall-clock budget per sweep from HIDA_SWEEP_DEADLINE_MS (0: none).
+ * envDouble fatals on malformed values — the old atof parse silently
+ * disabled the deadline on garbage like "30s". */
 double
 sweepDeadlineSeconds()
 {
-    if (const char* env = std::getenv("HIDA_SWEEP_DEADLINE_MS")) {
-        double ms = std::atof(env);
-        if (ms > 0.0)
-            return ms / 1000.0;
-    }
-    return 0.0;
+    return envDouble("HIDA_SWEEP_DEADLINE_MS", 0.0) / 1000.0;
 }
 
 /** Upper-convex (Pareto) filter: max throughput per utilization budget. */
@@ -145,6 +148,10 @@ main()
     const std::vector<int64_t> batches = {1, 5, 10, 15, 20};
     const DesignPointGrid grid = factorGrid();
     const unsigned threads = dseThreadCount();
+    // HIDA_DSE_ORDER / HIDA_DSE_SCHED: evaluation order and worker
+    // scheduling. Output-invariant by construction (results merge by
+    // grid index); the defaults (gray, steal) are the fast path.
+    const SweepSchedule schedule = sweepScheduleFromEnv();
 
     // Strategy selection: HIDA_DSE_STRATEGY/SEED/BUDGET (an unknown
     // strategy is a user error — exit kFatalExitCode, never a silent
@@ -233,7 +240,7 @@ main()
                 [](size_t index, const Point& p) {
                     return ParetoSample{index, p.util, p.throughput};
                 },
-                threads, limits);
+                threads, limits, schedule);
 
             total_failures += outcome.failures.size();
             total_restored += outcome.stats.restored;
@@ -266,7 +273,9 @@ main()
             if (sampled) {
                 SweepOutcome<Point> reference =
                     ShardedSweep::runResilient<Point>(grid, factory,
-                                                      threads);
+                                                      threads,
+                                                      SweepLimits(),
+                                                      schedule);
                 std::vector<ParetoSample> feasible;
                 for (size_t i = 0; i < reference.results.size(); ++i) {
                     if (!reference.completed[i])

@@ -40,13 +40,13 @@ for doc in "${doc_files[@]}"; do
 done
 
 # ---- 2. Knob-table completeness -------------------------------------------
-# Every HIDA_* var read from the environment — getenv()/envUint() in
-# C++, ${HIDA_*} expansion in shell — must have a row (backtick-quoted)
-# in the README knob table. HIDA_ASSERT/PANIC/FATAL are macros, not
-# knobs; *_H are include guards.
+# Every HIDA_* var read from the environment — getenv()/envUint()/
+# envDouble() in C++, ${HIDA_*} expansion in shell — must have a row
+# (backtick-quoted) in the README knob table. HIDA_ASSERT/PANIC/FATAL
+# are macros, not knobs; *_H are include guards.
 vars=$(
     {
-        grep -rhoE '(getenv|envUint)\("HIDA_[A-Z_0-9]+"' \
+        grep -rhoE '(getenv|envUint|envDouble)\("HIDA_[A-Z_0-9]+"' \
             src/ bench/ 2>/dev/null | grep -oE 'HIDA_[A-Z_0-9]+'
         grep -rhoE '\$\{HIDA_[A-Z_0-9]+' scripts/*.sh 2>/dev/null |
             grep -oE 'HIDA_[A-Z_0-9]+'

@@ -97,6 +97,55 @@ DesignPointGrid::encode(const std::vector<size_t>& value_indices) const
     return index;
 }
 
+std::optional<PointOrder>
+parsePointOrder(std::string_view name)
+{
+    if (name == "row-major")
+        return PointOrder::kRowMajor;
+    if (name == "gray")
+        return PointOrder::kGrayCode;
+    return std::nullopt;
+}
+
+std::string_view
+pointOrderName(PointOrder order)
+{
+    switch (order) {
+      case PointOrder::kRowMajor:
+        return "row-major";
+      case PointOrder::kGrayCode:
+        return "gray";
+    }
+    return "unknown";
+}
+
+size_t
+DesignPointGrid::orderedIndex(size_t pos, PointOrder order) const
+{
+    HIDA_ASSERT(pos < size(), "enumeration position out of range");
+    if (order == PointOrder::kRowMajor)
+        return pos;
+    // Mixed-radix reflected Gray code: axis i's plain digit d runs
+    // upward when the plain prefix above it has even digit-sum parity
+    // and downward (reflected) when odd, so stepping pos by one changes
+    // exactly one axis by exactly one value step — rollovers included.
+    size_t index = 0;
+    size_t parity = 0;
+    for (size_t i = 0; i < axes_.size(); ++i) {
+        size_t m = axes_[i].values.size();
+        size_t stride = 1;
+        for (size_t j = i + 1; j < axes_.size(); ++j)
+            stride *= axes_[j].values.size();
+        size_t d = (pos / stride) % m;
+        size_t g = parity ? (m - 1 - d) : d;
+        index = index * m + g;
+        // An even-radix digit flips the reflection of everything below
+        // it each time it steps; an odd radix preserves it.
+        parity = (parity * (m & 1) + d) & 1;
+    }
+    return index;
+}
+
 namespace {
 
 uint64_t

@@ -53,10 +53,37 @@ struct GridAxis {
 };
 
 /**
+ * Enumeration orders over a grid's points.
+ *
+ *  - kRowMajor: the historical axis-0-slowest nesting order (grid index
+ *    == enumeration position). Consecutive points usually step the
+ *    fastest axis, but every "rollover" moves several axes at once.
+ *  - kGrayCode: the mixed-radix reflected Gray code over the same axes:
+ *    consecutive positions differ in *exactly one* axis, by exactly one
+ *    value step, including across rollovers. A sweep walking this order
+ *    mutates a single directive per point, so each step dirties the
+ *    minimum number of IR subtrees (QorEstimator::cacheStats() shows
+ *    strictly fewer hashRecomputes than row-major, ~2x on the fig1
+ *    grid; pinned by tests/dse_strategy_test.cc).
+ *
+ * Either order is a bijection over [0, size()), and sweep results are
+ * always merged by *grid index* — the enumeration order can never
+ * change a sweep's output.
+ */
+enum class PointOrder : uint8_t { kRowMajor, kGrayCode };
+
+/** Parse "row-major"|"gray" (nullopt on anything else). */
+std::optional<PointOrder> parsePointOrder(std::string_view name);
+
+/** Stable name of @p order (the HIDA_DSE_ORDER spelling). */
+std::string_view pointOrderName(PointOrder order);
+
+/**
  * Cartesian grid over named axes. Points are enumerated row-major with
  * axis 0 slowest (the nesting order of the serial loops the grid
  * replaces), so shard boundaries and result merging are deterministic at
- * any thread count.
+ * any thread count. orderedIndex() layers alternative evaluation orders
+ * on top without disturbing the canonical index space.
  */
 class DesignPointGrid {
   public:
@@ -98,6 +125,15 @@ class DesignPointGrid {
      * per-axis value indices (asserts each index is within its axis).
      */
     size_t encode(const std::vector<size_t>& value_indices) const;
+
+    /**
+     * Grid index of enumeration position @p pos under @p order: the
+     * identity for kRowMajor, the mixed-radix reflected Gray code for
+     * kGrayCode. A bijection over [0, size()) for any order, so a sweep
+     * that walks positions and stores by the returned index visits
+     * every point exactly once. Allocation-free.
+     */
+    size_t orderedIndex(size_t pos, PointOrder order) const;
 
     /**
      * Process-independent structural hash of the grid: axis names,

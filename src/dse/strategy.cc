@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/ir/registry.h"
+#include "src/support/env.h"
 #include "src/support/utils.h"
 
 namespace hida {
@@ -16,8 +17,10 @@ namespace hida {
 // StrategyWorkerPool
 //===----------------------------------------------------------------------===//
 
-StrategyWorkerPool::StrategyWorkerPool(unsigned workers, WorkerInit init)
-    : workers_(std::max(1u, workers)), init_(std::move(init))
+StrategyWorkerPool::StrategyWorkerPool(unsigned workers, WorkerInit init,
+                                       SweepScheduler scheduler)
+    : workers_(std::max(1u, workers)), init_(std::move(init)),
+      scheduler_(scheduler)
 {
     // Dialect registration mutates the process-wide OpRegistry; do it
     // once up front so workers never race a first-compile registration
@@ -33,6 +36,18 @@ StrategyWorkerPool::StrategyWorkerPool(unsigned workers, WorkerInit init)
 StrategyWorkerPool::~StrategyWorkerPool() { shutdown(); }
 
 void
+StrategyWorkerPool::recordWorkerFailure(unsigned index,
+                                        const std::string& what)
+{
+    Diagnostic diag(ErrorCode::kWorkerFailed,
+                    strCat("exception escaped strategy worker: ", what),
+                    strCat("worker w", index));
+    emitDiagnostic(diag);
+    std::lock_guard<std::mutex> lock(failuresMutex_);
+    workerFailures_.push_back(std::move(diag));
+}
+
+void
 StrategyWorkerPool::workerMain(unsigned index)
 {
     // Tag diagnostic lines with the worker index (emission itself is
@@ -40,8 +55,21 @@ StrategyWorkerPool::workerMain(unsigned index)
     setDiagnosticThreadTag(strCat("w", index));
     // Worker-local state (module clone, estimator, passes) is created
     // here, on the worker thread, and lives until shutdown — warm
-    // caches survive across rounds.
-    WorkerFns fns = init_();
+    // caches survive across rounds. An exception out of init retires
+    // the worker as data, but it still acks every round below so the
+    // driver never deadlocks (under kStealing the survivors drain its
+    // slices; under kStatic they go unevaluated).
+    WorkerFns fns;
+    bool alive = true;
+    try {
+        fns = init_();
+    } catch (const std::exception& e) {
+        recordWorkerFailure(index, e.what());
+        alive = false;
+    } catch (...) {
+        recordWorkerFailure(index, "unknown exception");
+        alive = false;
+    }
     uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
@@ -49,16 +77,27 @@ StrategyWorkerPool::workerMain(unsigned index)
         if (exit_)
             break;
         seen = round_;
-        size_t begin = count_ * index / workers_;
-        size_t end = count_ * (index + 1) / workers_;
         lock.unlock();
-        fns.run(begin, end);
+        if (alive) {
+            try {
+                size_t begin = 0;
+                size_t end = 0;
+                while (queue_.take(index, &begin, &end))
+                    fns.run(begin, end);
+            } catch (const std::exception& e) {
+                recordWorkerFailure(index, e.what());
+                alive = false;
+            } catch (...) {
+                recordWorkerFailure(index, "unknown exception");
+                alive = false;
+            }
+        }
         lock.lock();
         if (++done_ == workers_)
             doneCv_.notify_all();
     }
     lock.unlock();
-    if (fns.finish)
+    if (alive && fns.finish)
         fns.finish();
 }
 
@@ -68,16 +107,30 @@ StrategyWorkerPool::runRound(size_t count)
     if (count == 0)
         return;
     if (workers_ == 1) {
-        // Serial reference semantics: everything on the driver thread.
-        if (!serialInit_) {
-            serial_ = init_();
-            serialInit_ = true;
+        // Serial reference semantics: everything on the driver thread —
+        // including the worker-boundary exception catch.
+        if (serialDead_)
+            return;
+        try {
+            if (!serialInit_) {
+                serial_ = init_();
+                serialInit_ = true;
+            }
+            serial_.run(0, count);
+        } catch (const std::exception& e) {
+            recordWorkerFailure(0, e.what());
+            serialDead_ = true;
+        } catch (...) {
+            recordWorkerFailure(0, "unknown exception");
+            serialDead_ = true;
         }
-        serial_.run(0, count);
         return;
     }
     std::unique_lock<std::mutex> lock(mutex_);
-    count_ = count;
+    // Safe to reset here: every worker is parked waiting for the next
+    // round (done_ == workers_ from the previous one), so none is
+    // inside take().
+    queue_.reset(count, workers_, scheduler_);
     done_ = 0;
     ++round_;
     workCv_.notify_all();
@@ -162,12 +215,14 @@ resolveBudget(const DesignPointGrid& grid, size_t budget)
     return std::min(budget == 0 ? fallback : budget, grid.size());
 }
 
-/** The current behavior, re-expressed: every point, one batch, so the
- * executor slices it exactly like ShardedSweep::runResilient. */
+/** Every point, one batch, proposed in the configured PointOrder (the
+ * executor slices the batch exactly like ShardedSweep::runResilient).
+ * Under kGrayCode consecutive batch positions mutate exactly one
+ * directive, so each worker's slice walks single-axis steps. */
 class ExhaustiveStrategy : public SearchStrategy {
   public:
-    explicit ExhaustiveStrategy(const DesignPointGrid& grid)
-        : size_(grid.size())
+    ExhaustiveStrategy(const DesignPointGrid& grid, PointOrder order)
+        : grid_(grid), order_(order)
     {}
 
     std::string_view name() const override { return "exhaustive"; }
@@ -178,15 +233,17 @@ class ExhaustiveStrategy : public SearchStrategy {
         if (done_)
             return;
         done_ = true;
-        out.reserve(size_);
-        for (size_t i = 0; i < size_; ++i)
-            out.push_back(i);
+        size_t n = grid_.size();
+        out.reserve(n);
+        for (size_t pos = 0; pos < n; ++pos)
+            out.push_back(grid_.orderedIndex(pos, order_));
     }
 
     void consume(const std::vector<StrategyResult>&) override {}
 
   private:
-    size_t size_;
+    const DesignPointGrid& grid_;
+    PointOrder order_;
     bool done_ = false;
 };
 
@@ -893,7 +950,7 @@ makeStrategy(const DesignPointGrid& grid, const StrategyOptions& options)
 {
     switch (options.kind) {
       case StrategyKind::kExhaustive:
-        return std::make_unique<ExhaustiveStrategy>(grid);
+        return std::make_unique<ExhaustiveStrategy>(grid, options.order);
       case StrategyKind::kRandom:
         return std::make_unique<RandomStrategy>(grid, options.seed,
                                                 options.budget);
@@ -908,25 +965,6 @@ makeStrategy(const DesignPointGrid& grid, const StrategyOptions& options)
     HIDA_PANIC("unknown StrategyKind");
 }
 
-namespace {
-
-/** Parse a non-negative integer env var, HIDA_FATAL on garbage. */
-uint64_t
-envUint(const char* name, uint64_t fallback)
-{
-    const char* env = std::getenv(name);
-    if (env == nullptr || *env == '\0')
-        return fallback;
-    char* end = nullptr;
-    unsigned long long value = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0')
-        HIDA_FATAL("invalid ", name, " '", env,
-                   "': expected a non-negative integer");
-    return value;
-}
-
-} // namespace
-
 StrategyOptions
 strategyOptionsFromEnv()
 {
@@ -940,8 +978,12 @@ strategyOptionsFromEnv()
             options.kind = *kind;
         }
     }
+    // envUint (src/support/env.h) fatals on garbage, signs, trailing
+    // characters and 64-bit overflow — an overflowed HIDA_DSE_SEED used
+    // to clamp silently to ULLONG_MAX.
     options.seed = envUint("HIDA_DSE_SEED", options.seed);
     options.budget = envUint("HIDA_DSE_BUDGET", 0);
+    options.order = sweepScheduleFromEnv().order;
     return options;
 }
 

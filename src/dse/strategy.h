@@ -13,8 +13,10 @@
  * deadline and budget semantics) as ShardedSweep::runResilient.
  *
  * Four built-in strategies (makeStrategy / HIDA_DSE_STRATEGY):
- *  - exhaustive: every point, one batch, shard boundaries identical to
- *    runResilient — byte-identical output to the pre-strategy sweeps.
+ *  - exhaustive: every point, one batch, proposed in the configured
+ *    PointOrder (HIDA_DSE_ORDER; gray by default, so consecutive
+ *    points mutate exactly one directive) — byte-identical output to
+ *    the pre-strategy sweeps at any order/scheduler/thread count.
  *  - random: seeded uniform sampling without replacement.
  *  - lhs: latin-hypercube sampling over the named axes (every axis
  *    stratified into budget slices, permuted independently).
@@ -130,6 +132,13 @@ struct StrategyOptions {
      * 0 = no limit.
      */
     double costLimit = 0.0;
+    /**
+     * Enumeration order of the exhaustive strategy (HIDA_DSE_ORDER).
+     * Gray code proposes single-directive steps for maximal estimator
+     * memo reuse; sampling strategies choose their own batch
+     * compositions and ignore it.
+     */
+    PointOrder order = PointOrder::kGrayCode;
 };
 
 /**
@@ -142,9 +151,10 @@ std::unique_ptr<SearchStrategy> makeStrategy(const DesignPointGrid& grid,
 /**
  * StrategyOptions from the environment: HIDA_DSE_STRATEGY (default
  * exhaustive), HIDA_DSE_SEED (default 42), HIDA_DSE_BUDGET (default 0 =
- * 10% of grid). An unknown strategy name or a malformed number is a
- * *user* error: HIDA_FATAL, exit kFatalExitCode (65) — never a silent
- * fallback to exhaustive.
+ * 10% of grid), HIDA_DSE_ORDER (default gray). An unknown strategy
+ * name or a malformed/overflowing number is a *user* error:
+ * HIDA_FATAL, exit kFatalExitCode (65) — never a silent fallback to
+ * exhaustive (and never a silent clamp of an overflowed seed).
  */
 StrategyOptions strategyOptionsFromEnv();
 
@@ -155,16 +165,25 @@ StrategyOptions strategyOptionsFromEnv();
  * caches — alive across batches, which is what lets an evolutionary
  * strategy's neighbor points hit the caches its earlier batches warmed.
  *
- * Worker w of a round over @p count positions evaluates the contiguous
+ * Worker w of a round over @p count positions owns the contiguous
  * slice [count*w/W, count*(w+1)/W) — the runShards shard math, so a
- * single whole-grid round is sliced exactly like runResilient.
+ * single whole-grid round is sliced exactly like runResilient. Under
+ * SweepScheduler::kStealing a dry worker additionally adopts tail
+ * halves of straggler slices through the shared WorkQueue (sweep.h).
  *
- * Thread-safety: runRound()/shutdown() are driver-only; the pool
- * internally synchronizes hand-off to its workers (mutex + condvars),
- * so everything the driver wrote before runRound() is visible to
- * workers, and worker writes are visible to the driver when runRound()
- * returns. With one worker the pool runs inline on the driver thread
- * (the serial reference semantics of runShards).
+ * Exception safety: an exception escaping a worker's init or run hook
+ * retires that worker as a kWorkerFailed Diagnostic (workerFailures())
+ * instead of calling std::terminate — the dead worker keeps acking
+ * rounds so the driver never deadlocks, and under kStealing the
+ * survivors drain its slices.
+ *
+ * Thread-safety: runRound()/shutdown()/workerFailures() are
+ * driver-only; the pool internally synchronizes hand-off to its
+ * workers (mutex + condvars), so everything the driver wrote before
+ * runRound() is visible to workers, and worker writes are visible to
+ * the driver when runRound() returns. With one worker the pool runs
+ * inline on the driver thread (the serial reference semantics of
+ * runShards).
  */
 class StrategyWorkerPool {
   public:
@@ -180,7 +199,8 @@ class StrategyWorkerPool {
 
     /** Spawn @p workers threads (1 = inline mode, no thread). @p init
      * runs once per worker on that worker's thread. */
-    StrategyWorkerPool(unsigned workers, WorkerInit init);
+    StrategyWorkerPool(unsigned workers, WorkerInit init,
+                       SweepScheduler scheduler = SweepScheduler::kStatic);
     /** Joins (runs shutdown()) if the driver has not already. */
     ~StrategyWorkerPool();
 
@@ -196,22 +216,37 @@ class StrategyWorkerPool {
     /** Run every worker's finish hook and join the threads. */
     void shutdown();
 
+    /** Workers retired by an escaped exception (code kWorkerFailed).
+     * Read between rounds or after shutdown() — the round hand-off
+     * orders worker writes before the driver's read. */
+    const std::vector<Diagnostic>&
+    workerFailures() const
+    {
+        return workerFailures_;
+    }
+
   private:
     void workerMain(unsigned index);
+    void recordWorkerFailure(unsigned index, const std::string& what);
 
     unsigned workers_ = 1;
     WorkerInit init_;
+    SweepScheduler scheduler_ = SweepScheduler::kStatic;
+    WorkQueue queue_;
     std::vector<std::thread> threads_;
     /** Inline-mode worker (workers_ == 1), created lazily. */
     WorkerFns serial_;
     bool serialInit_ = false;
+    bool serialDead_ = false;
     bool shutdown_ = false;
+
+    std::mutex failuresMutex_;
+    std::vector<Diagnostic> workerFailures_;
 
     std::mutex mutex_;
     std::condition_variable workCv_;
     std::condition_variable doneCv_;
     uint64_t round_ = 0;    ///< Round generation counter.
-    size_t count_ = 0;      ///< Positions in the current round.
     unsigned done_ = 0;     ///< Workers finished with the current round.
     bool exit_ = false;
 };
@@ -224,6 +259,8 @@ struct StrategySweepStats {
     size_t restored = 0;   ///< Points restored from the journal.
     bool stopped = false;  ///< A SweepLimits condition ended the sweep.
     std::optional<Diagnostic> stopReason;  ///< Set when stopped.
+    /** Workers retired by an escaped exception (code kWorkerFailed). */
+    std::vector<Diagnostic> workerFailures;
     /** Estimator cache counters summed over all workers. */
     QorCacheStats cache;
 };
@@ -255,6 +292,12 @@ struct StrategyOutcome {
  * @p objective maps a completed result to its ParetoSample objectives
  * for strategy feedback (the index field is overwritten).
  *
+ * @p schedule.scheduler picks the pool's round slicing (static or
+ * stealing; output-invariant — results store by grid index).
+ * @p schedule.order is a *strategy* concern: the exhaustive strategy
+ * takes it from StrategyOptions at construction; batches arriving here
+ * are evaluated in their proposed order.
+ *
  * Determinism: for a fixed strategy seed the proposed indices, results
  * and failures are bit-identical at any @p threads, because strategy
  * state only advances on the driver and every failure decision keys on
@@ -265,7 +308,8 @@ StrategyOutcome<R>
 runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
                  const std::function<ResilientWorker<R>()>& factory,
                  const std::function<ParetoSample(size_t, const R&)>& objective,
-                 unsigned threads, const SweepLimits& limits = SweepLimits())
+                 unsigned threads, const SweepLimits& limits = SweepLimits(),
+                 const SweepSchedule& schedule = SweepSchedule())
 {
     static_assert(std::is_trivially_copyable_v<R>,
                   "sweep results are journaled as raw bytes");
@@ -298,7 +342,8 @@ runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
     unsigned workers = std::max(1u, threads);
     workers = std::min(workers, static_cast<unsigned>(std::max<size_t>(n, 1)));
     StrategyWorkerPool pool(
-        workers, [&]() -> StrategyWorkerPool::WorkerFns {
+        workers,
+        [&]() -> StrategyWorkerPool::WorkerFns {
             auto worker =
                 std::make_shared<ResilientWorker<R>>(factory());
             StrategyWorkerPool::WorkerFns fns;
@@ -347,7 +392,25 @@ runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
                     // The fault key is the grid index: injected failures
                     // are identical at any thread count.
                     FaultScope fault_scope(i);
-                    Result<R> result = worker->evaluate(i, values);
+                    // An exception out of evaluate is a per-point
+                    // failure, not a dead worker: catch it here so the
+                    // worker recovers and keeps evaluating.
+                    Result<R> result = [&]() -> Result<R> {
+                        try {
+                            return worker->evaluate(i, values);
+                        } catch (const std::exception& e) {
+                            return Diagnostic(
+                                ErrorCode::kWorkerFailed,
+                                strCat("exception escaped evaluate: ",
+                                       e.what()),
+                                strCat("point #", i));
+                        } catch (...) {
+                            return Diagnostic(
+                                ErrorCode::kWorkerFailed,
+                                "unknown exception escaped evaluate",
+                                strCat("point #", i));
+                        }
+                    }();
                     if (result.ok()) {
                         out.results[i] = result.value();
                         out.completed[i] = 1;
@@ -379,7 +442,8 @@ runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
                 out.stats.cache += stats;
             };
             return fns;
-        });
+        },
+        schedule.scheduler);
 
     std::vector<uint8_t> proposed_ever(n, 0);
     std::vector<StrategyResult> feedback;
@@ -413,6 +477,7 @@ runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
         strategy.consume(feedback);
     }
     pool.shutdown();
+    out.stats.workerFailures = pool.workerFailures();
 
     std::sort(out.failures.begin(), out.failures.end(),
               [](const PointFailure& a, const PointFailure& b) {

@@ -17,9 +17,19 @@
  * disjoint slots of one preallocated vector indexed by grid order —
  * merging is a no-op and deterministic.
  *
- * Shards are contiguous index ranges: neighboring points differ in the
- * fastest axes only, which keeps each worker's directive-fingerprint
- * memo hot exactly like the serial sweep it replaces.
+ * Work distribution: every worker owns a contiguous range of
+ * *enumeration positions* — neighboring positions differ in few axes
+ * (exactly one under PointOrder::kGrayCode), which keeps each worker's
+ * directive-fingerprint memo hot exactly like the serial sweep it
+ * replaces. Under SweepScheduler::kStatic the ranges are fixed (the
+ * PR 5 behavior); under kStealing a worker that drains its own range
+ * steals the back half of a straggler's remaining range, so uneven
+ * point costs no longer serialize on the slowest shard. Neither the
+ * ordering nor the scheduler can change a sweep's output: results are
+ * always stored by canonical *grid index* and per-point results are
+ * history-independent (warm == cold estimates, pinned by the
+ * differential fuzzer), so the merged output is bit-identical across
+ * every {order} x {scheduler} x {thread count} combination.
  *
  * Two execution modes:
  *  - run(): the PR 5 contract — every point must succeed; a panic in a
@@ -39,6 +49,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -77,6 +89,79 @@ struct PointFailure {
     Diagnostic diag;
 };
 
+/**
+ * How enumeration positions are handed to workers.
+ *
+ *  - kStatic: fixed contiguous ranges [w*n/W, (w+1)*n/W) — the PR 5
+ *    behavior; a point's evaluation history depends only on its shard.
+ *  - kStealing: same owner ranges, but a worker that drains its own
+ *    range steals the back half of a straggler's remaining range.
+ *    Locality survives (owners consume from the front, thieves adopt a
+ *    contiguous tail) and the output cannot change (results merge by
+ *    grid index; per-point results are history-independent), but wall
+ *    clock no longer serializes on the slowest shard.
+ */
+enum class SweepScheduler : uint8_t { kStatic, kStealing };
+
+/** Parse "static"|"steal" (nullopt on anything else). */
+std::optional<SweepScheduler> parseSweepScheduler(std::string_view name);
+
+/** Stable name of @p scheduler (the HIDA_DSE_SCHED spelling). */
+std::string_view sweepSchedulerName(SweepScheduler scheduler);
+
+/**
+ * Evaluation order + scheduler of one sweep. The defaults are the fast
+ * path (single-directive steps, no straggler serialization); kRowMajor
+ * and kStatic reproduce the PR 5 behavior exactly. Neither field can
+ * change a sweep's output — only its evaluation order and wall clock.
+ */
+struct SweepSchedule {
+    PointOrder order = PointOrder::kGrayCode;
+    SweepScheduler scheduler = SweepScheduler::kStealing;
+};
+
+/**
+ * SweepSchedule from HIDA_DSE_ORDER ("gray"|"row-major") and
+ * HIDA_DSE_SCHED ("steal"|"static"). Unset/empty keeps the defaults;
+ * anything else is a user error (exits kFatalExitCode).
+ */
+SweepSchedule sweepScheduleFromEnv();
+
+/**
+ * Chunked work distribution over [0, count) for one pool of workers:
+ * the shared core of ShardedSweep::runShards and the strategy worker
+ * pool (src/dse/strategy.h). Each worker owns a contiguous slot it
+ * consumes from the front in chunks; under kStealing a dry worker
+ * steals the back half of a victim's remainder and adopts it. reset()
+ * must happen-before the workers' take() calls (the callers' thread
+ * create / condvar round handoff provides that); take() is safe to
+ * call concurrently from all workers.
+ */
+class WorkQueue {
+  public:
+    /** Carve [0, count) into @p workers owner slots. */
+    void reset(size_t count, size_t workers, SweepScheduler scheduler);
+
+    /**
+     * Claim the next chunk for worker @p self as [*begin, *end).
+     * Returns false when no work is left anywhere this worker can see
+     * (a concurrent steal-adoption may retire a worker one chunk early;
+     * work is never lost, only finished by the adopter).
+     */
+    bool take(size_t self, size_t* begin, size_t* end);
+
+  private:
+    struct Slot {
+        std::mutex mutex;
+        size_t next = 0;
+        size_t end = 0;
+    };
+    // deque, not vector: Slot holds a std::mutex and must never move.
+    std::deque<Slot> slots_;
+    size_t chunk_ = 1;
+    SweepScheduler scheduler_ = SweepScheduler::kStatic;
+};
+
 /** Stop conditions and checkpointing of one resilient sweep. */
 struct SweepLimits {
     /** Wall-clock budget in seconds (<= 0: unbounded), measured from
@@ -103,6 +188,11 @@ struct SweepOutcome {
     std::vector<R> results;           ///< Valid where completed[i] != 0.
     std::vector<uint8_t> completed;   ///< Per grid index.
     std::vector<PointFailure> failures;  ///< Grid order.
+    /** Workers lost to an escaped exception (factory or evaluator
+     * boundary), code kWorkerFailed. Distinct from stopped: under
+     * kStealing the survivors usually finish the dead worker's points,
+     * so check allCompleted() to learn whether coverage suffered. */
+    std::vector<Diagnostic> workerFailures;
     size_t evaluated = 0;  ///< Points newly evaluated this run.
     size_t restored = 0;   ///< Points restored from the journal.
     bool stopped = false;  ///< Deadline/cancel/budget ended the sweep.
@@ -224,7 +314,9 @@ std::optional<Diagnostic> verifySweepPrototype(ModuleOp prototype);
  */
 class ShardedSweep {
   public:
-    /** Worker-bound evaluation of the contiguous points [begin, end). */
+    /** Worker-bound evaluation of the contiguous positions [begin,
+     * end). Called once per claimed chunk — exactly once per worker
+     * under kStatic, repeatedly under kStealing. */
     using ShardFn = std::function<void(size_t begin, size_t end)>;
     /**
      * Called once per worker on that worker's thread; returns the
@@ -233,22 +325,31 @@ class ShardedSweep {
     using ShardFactory = std::function<ShardFn()>;
 
     /**
-     * Split [0, num_points) into @p threads contiguous shards and run
-     * them concurrently (inline, spawning no thread, when one worker
-     * suffices). Worker w evaluates [w*n/T, (w+1)*n/T) — deterministic
-     * boundaries, no work stealing, so a point's evaluation history
-     * (and therefore any history-sensitive caching) depends only on its
-     * shard, never on timing. Panics in a worker abort the process (the
-     * same contract as the serial sweep). Spawned workers tag their
-     * diagnostic lines "w<index>" (see setDiagnosticThreadTag).
+     * Distribute [0, num_points) across @p threads workers and run them
+     * concurrently (inline, spawning no thread, when one worker
+     * suffices). Worker w owns [w*n/T, (w+1)*n/T); under kStatic it
+     * evaluates exactly that range (the deterministic PR 5 contract —
+     * a point's evaluation history depends only on its shard, never on
+     * timing); under kStealing dry workers additionally adopt tail
+     * halves of straggler ranges. Panics in a worker still abort the
+     * process (compiler-bug semantics), but an *exception* escaping the
+     * factory or the shard fn retires only that worker: it is caught at
+     * the worker boundary, emitted, and returned as a kWorkerFailed
+     * Diagnostic (error contract: recoverable failures are data).
+     * Spawned workers tag their diagnostic lines "w<index>" (see
+     * setDiagnosticThreadTag).
      */
-    static void runShards(size_t num_points, const ShardFactory& factory,
-                          unsigned threads);
+    static std::vector<Diagnostic>
+    runShards(size_t num_points, const ShardFactory& factory,
+              unsigned threads,
+              SweepScheduler scheduler = SweepScheduler::kStatic);
 
     /**
      * Evaluate every point of @p grid. @p factory runs once per worker
      * on the worker thread and returns the per-point evaluator; results
-     * are returned in grid order regardless of @p threads.
+     * are returned in grid order regardless of @p threads or
+     * @p schedule (positions walk schedule.order, results store by grid
+     * index).
      */
     template <typename R>
     static std::vector<R>
@@ -256,24 +357,26 @@ class ShardedSweep {
         const std::function<std::function<R(size_t index,
                                             const std::vector<int64_t>&)>()>&
             factory,
-        unsigned threads)
+        unsigned threads, const SweepSchedule& schedule = SweepSchedule())
     {
         std::vector<R> results(grid.size());
         runShards(
             grid.size(),
             [&]() -> ShardFn {
                 auto evaluate = factory();
-                return [&results, &grid,
+                return [&results, &grid, &schedule,
                         evaluate = std::move(evaluate)](size_t begin,
                                                         size_t end) {
                     std::vector<int64_t> values;
-                    for (size_t i = begin; i < end; ++i) {
+                    for (size_t pos = begin; pos < end; ++pos) {
+                        const size_t i =
+                            grid.orderedIndex(pos, schedule.order);
                         grid.decode(i, values);
                         results[i] = evaluate(i, values);
                     }
                 };
             },
-            threads);
+            threads, schedule.scheduler);
         return results;
     }
 
@@ -300,7 +403,8 @@ class ShardedSweep {
     static SweepOutcome<R>
     runResilient(const DesignPointGrid& grid,
                  const std::function<ResilientWorker<R>()>& factory,
-                 unsigned threads, const SweepLimits& limits = SweepLimits())
+                 unsigned threads, const SweepLimits& limits = SweepLimits(),
+                 const SweepSchedule& schedule = SweepSchedule())
     {
         static_assert(std::is_trivially_copyable_v<R>,
                       "sweep results are journaled as raw bytes");
@@ -327,7 +431,7 @@ class ShardedSweep {
                     has_deadline ? limits.deadlineSeconds : 0.0));
         std::mutex failures_mutex;
 
-        runShards(
+        outcome.workerFailures = runShards(
             n,
             [&]() -> ShardFn {
                 ResilientWorker<R> worker = factory();
@@ -335,7 +439,9 @@ class ShardedSweep {
                                                        size_t end) {
                     std::vector<int64_t> values;
                     std::vector<PointFailure> local_failures;
-                    for (size_t i = begin; i < end; ++i) {
+                    for (size_t pos = begin; pos < end; ++pos) {
+                        const size_t i =
+                            grid.orderedIndex(pos, schedule.order);
                         if (stop.load(std::memory_order_relaxed))
                             break;
                         if (limits.cancel != nullptr &&
@@ -379,7 +485,25 @@ class ShardedSweep {
                         // The fault key is the grid index: injected
                         // failures are identical at any thread count.
                         FaultScope fault_scope(i);
-                        Result<R> result = worker.evaluate(i, values);
+                        // An exception out of evaluate is a per-point
+                        // failure, not a dead worker: catch it here so
+                        // the worker recovers and keeps its shard.
+                        Result<R> result = [&]() -> Result<R> {
+                            try {
+                                return worker.evaluate(i, values);
+                            } catch (const std::exception& e) {
+                                return Diagnostic(
+                                    ErrorCode::kWorkerFailed,
+                                    strCat("exception escaped evaluate: ",
+                                           e.what()),
+                                    strCat("point #", i));
+                            } catch (...) {
+                                return Diagnostic(
+                                    ErrorCode::kWorkerFailed,
+                                    "unknown exception escaped evaluate",
+                                    strCat("point #", i));
+                            }
+                        }();
                         if (result.ok()) {
                             outcome.results[i] = result.value();
                             outcome.completed[i] = 1;
@@ -404,7 +528,7 @@ class ShardedSweep {
                     }
                 };
             },
-            threads);
+            threads, schedule.scheduler);
 
         std::sort(outcome.failures.begin(), outcome.failures.end(),
                   [](const PointFailure& a, const PointFailure& b) {
@@ -444,9 +568,12 @@ class ShardedSweep {
 };
 
 /**
- * Worker count for benchmark sweeps: HIDA_BENCH_THREADS when set to a
- * positive integer, else std::thread::hardware_concurrency() (min 1).
- * Output must never depend on this — the sweep merges in grid order.
+ * Worker count for benchmark sweeps: HIDA_BENCH_THREADS when set, else
+ * std::thread::hardware_concurrency() (min 1). A set value must be a
+ * positive integer — zero, garbage ("abc") or trailing characters
+ * ("4x") are user errors (exit kFatalExitCode), never a silent
+ * fallback. Output must never depend on this — the sweep merges in
+ * grid order.
  */
 unsigned dseThreadCount();
 

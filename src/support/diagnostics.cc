@@ -107,6 +107,8 @@ errorCodeName(ErrorCode code)
         return "journal-mismatch";
       case ErrorCode::kFaultInjected:
         return "fault-injected";
+      case ErrorCode::kWorkerFailed:
+        return "worker-failed";
     }
     return "unknown";
 }

@@ -92,6 +92,7 @@ enum class ErrorCode : uint16_t {
     kJournalCorrupt = 8,     ///< Journal record failed its checksum.
     kJournalMismatch = 9,    ///< Journal belongs to a different sweep.
     kFaultInjected = 10,     ///< HIDA_FAULT_INJECT forced this failure.
+    kWorkerFailed = 11,      ///< Exception escaped a sweep worker boundary.
 };
 
 /** Stable name of @p code (e.g. "verify-failed"). */

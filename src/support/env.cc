@@ -1,0 +1,55 @@
+#include "src/support/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/support/diagnostics.h"
+
+namespace hida {
+
+uint64_t
+envUint(const char* name, uint64_t fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    // strtoull accepts leading whitespace and a sign (silently negating
+    // into the unsigned range); the knob contract is digits only.
+    if (!std::isdigit(static_cast<unsigned char>(*env)))
+        HIDA_FATAL("invalid ", name, " '", env,
+                   "': expected a non-negative integer");
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0')
+        HIDA_FATAL("invalid ", name, " '", env,
+                   "': expected a non-negative integer");
+    if (errno == ERANGE)
+        HIDA_FATAL("invalid ", name, " '", env,
+                   "': value does not fit in 64 bits");
+    return value;
+}
+
+double
+envDouble(const char* name, double fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(env, &end);
+    if (end == env || *end != '\0')
+        HIDA_FATAL("invalid ", name, " '", env,
+                   "': expected a non-negative number");
+    if (errno == ERANGE || !std::isfinite(value))
+        HIDA_FATAL("invalid ", name, " '", env, "': value out of range");
+    if (value < 0.0 || std::signbit(value))
+        HIDA_FATAL("invalid ", name, " '", env,
+                   "': expected a non-negative number");
+    return value;
+}
+
+} // namespace hida

@@ -1,0 +1,38 @@
+#ifndef HIDA_SUPPORT_ENV_H
+#define HIDA_SUPPORT_ENV_H
+
+/**
+ * @file
+ * Validated environment-variable parsing. Every HIDA_* knob is user
+ * input, and the error contract (docs/architecture.md) says bad user
+ * input exits with kFatalExitCode (65) — it must never be silently
+ * swallowed the way atoi/atof would ("abc" -> 0, "4x" -> 4). The DSE
+ * engine and the benches parse their numeric knobs through these
+ * helpers; hand-rolling getenv + atoi at a call site is a contract
+ * violation (scripts/check_docs.sh additionally requires every knob
+ * read here to be documented in the README table).
+ */
+
+#include <cstdint>
+
+namespace hida {
+
+/**
+ * Read @p name as a non-negative decimal integer. Unset or empty
+ * returns @p fallback; anything else must be digits only and fit in
+ * 64 bits — a sign, trailing garbage ("4x") or overflow exits with
+ * kFatalExitCode instead of truncating or wrapping.
+ */
+uint64_t envUint(const char* name, uint64_t fallback);
+
+/**
+ * Read @p name as a non-negative finite double. Unset or empty returns
+ * @p fallback; garbage, trailing characters, negative values, NaN/inf
+ * or out-of-range magnitudes exit with kFatalExitCode instead of
+ * silently disabling the knob.
+ */
+double envDouble(const char* name, double fallback);
+
+} // namespace hida
+
+#endif // HIDA_SUPPORT_ENV_H

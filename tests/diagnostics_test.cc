@@ -116,6 +116,7 @@ TEST(DiagnosticsTest, ErrorCodeNamesAreStable)
     EXPECT_STREQ(errorCodeName(ErrorCode::kJournalMismatch),
                  "journal-mismatch");
     EXPECT_STREQ(errorCodeName(ErrorCode::kFaultInjected), "fault-injected");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kWorkerFailed), "worker-failed");
 }
 
 //===----------------------------------------------------------------------===//

@@ -18,10 +18,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -106,10 +108,12 @@ struct LeNetSweep {
     }
 
     SweepOutcome<DesignQor>
-    run(unsigned threads, const SweepLimits& limits = SweepLimits())
+    run(unsigned threads, const SweepLimits& limits = SweepLimits(),
+        const SweepSchedule& schedule = SweepSchedule())
     {
         return ShardedSweep::runResilient<DesignQor>(grid, factory(),
-                                                     threads, limits);
+                                                     threads, limits,
+                                                     schedule);
     }
 };
 
@@ -281,6 +285,121 @@ TEST_F(DseFaultTest, InvalidDirectiveFailsThePointNotTheSweep)
 }
 
 //===----------------------------------------------------------------------===//
+// Worker-boundary exceptions
+//===----------------------------------------------------------------------===//
+
+/**
+ * A LeNetSweep factory whose Nth invocation throws — the "worker dies
+ * during setup" scenario. Calls are counted process-wide; which OS
+ * thread draws the short straw is scheduling-dependent, so tests only
+ * assert scheduler-level outcomes, never which shard was lost.
+ */
+std::function<ResilientWorker<DesignQor>()>
+throwingFactory(LeNetSweep& s, std::shared_ptr<std::atomic<int>> calls,
+                int fatal_call)
+{
+    auto inner = s.factory();
+    return [inner, calls, fatal_call]() {
+        if (calls->fetch_add(1) + 1 == fatal_call)
+            throw std::runtime_error("worker init blew up");
+        return inner();
+    };
+}
+
+TEST_F(DseFaultTest, WorkerFactoryExceptionBecomesDiagnostic)
+{
+    // Static scheduler, two workers, one factory throws: the sweep must
+    // survive, report the dead worker as a kWorkerFailed Diagnostic
+    // (not a crash, not `stopped`), and leave exactly the dead worker's
+    // fixed shard unevaluated.
+    LeNetSweep& s = lenet();
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    SweepSchedule schedule;
+    schedule.scheduler = SweepScheduler::kStatic;
+    SweepOutcome<DesignQor> outcome =
+        ShardedSweep::runResilient<DesignQor>(
+            s.grid, throwingFactory(s, calls, 2), 2, SweepLimits(),
+            schedule);
+
+    ASSERT_EQ(outcome.workerFailures.size(), 1u);
+    EXPECT_EQ(outcome.workerFailures[0].code, ErrorCode::kWorkerFailed);
+    EXPECT_FALSE(outcome.stopped);
+    EXPECT_TRUE(outcome.failures.empty());
+    EXPECT_FALSE(outcome.allCompleted());
+    size_t completed = 0;
+    for (size_t i = 0; i < s.grid.size(); ++i)
+        if (outcome.completed[i]) {
+            ++completed;
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i;
+        }
+    // Static halves of a 48-point grid: the survivor finished its 24.
+    EXPECT_EQ(completed, s.grid.size() / 2);
+}
+
+TEST_F(DseFaultTest, StealingRescuesADeadWorkersShard)
+{
+    // Same dead worker, stealing scheduler: the survivor drains the
+    // dead worker's slot, so the sweep still completes every point —
+    // the failure is reported but costs coverage nothing.
+    LeNetSweep& s = lenet();
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    SweepSchedule schedule;
+    schedule.scheduler = SweepScheduler::kStealing;
+    SweepOutcome<DesignQor> outcome =
+        ShardedSweep::runResilient<DesignQor>(
+            s.grid, throwingFactory(s, calls, 2), 2, SweepLimits(),
+            schedule);
+
+    ASSERT_EQ(outcome.workerFailures.size(), 1u);
+    EXPECT_EQ(outcome.workerFailures[0].code, ErrorCode::kWorkerFailed);
+    EXPECT_FALSE(outcome.stopped);
+    EXPECT_TRUE(outcome.allCompleted());
+    for (size_t i = 0; i < s.grid.size(); ++i)
+        EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i])) << "point " << i;
+}
+
+TEST_F(DseFaultTest, EvaluatorExceptionBecomesPointFailure)
+{
+    // An exception escaping worker.evaluate is a *per-point* failure:
+    // the worker recovers and keeps its shard; only the throwing point
+    // is lost, as a structured kWorkerFailed record.
+    LeNetSweep& s = lenet();
+    constexpr size_t kBadIndex = 7;
+    auto inner = s.factory();
+    SweepOutcome<DesignQor> outcome =
+        ShardedSweep::runResilient<DesignQor>(
+            s.grid,
+            [&]() {
+                ResilientWorker<DesignQor> worker = inner();
+                auto evaluate = worker.evaluate;
+                worker.evaluate =
+                    [evaluate](size_t index,
+                               const std::vector<int64_t>& vals)
+                    -> Result<DesignQor> {
+                    if (index == kBadIndex)
+                        throw std::runtime_error("estimator exploded");
+                    return evaluate(index, vals);
+                };
+                return worker;
+            },
+            2);
+
+    EXPECT_TRUE(outcome.workerFailures.empty());
+    EXPECT_FALSE(outcome.stopped);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, kBadIndex);
+    EXPECT_EQ(outcome.failures[0].diag.code, ErrorCode::kWorkerFailed);
+    EXPECT_FALSE(outcome.completed[kBadIndex]);
+    for (size_t i = 0; i < s.grid.size(); ++i)
+        if (i != kBadIndex) {
+            ASSERT_TRUE(outcome.completed[i]) << "point " << i;
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i;
+        }
+}
+
+//===----------------------------------------------------------------------===//
 // Stop conditions
 //===----------------------------------------------------------------------===//
 
@@ -354,6 +473,51 @@ TEST_F(DseFaultTest, InterruptedSweepResumesFromJournalByteExactly)
         // The resumed run's merged results are the clean run's results —
         // restored points byte-exactly, re-evaluated points by the
         // engine's determinism. This is the output_sha256 guarantee.
+        for (size_t i = 0; i < s.grid.size(); ++i)
+            EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
+                << "point " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(DseFaultTest, GrayStealingResumeIsByteExactToo)
+{
+    // The journal contract is order- and scheduler-agnostic: a sweep
+    // interrupted under {gray, stealing, 2 threads} — where *which* 12
+    // points got journaled is timing-dependent — still resumes to the
+    // clean run's exact results, because records key on the grid index
+    // and point fingerprint, never on enumeration position.
+    LeNetSweep& s = lenet();
+    std::string path = tempJournalPath("gray_steal_resume");
+    SweepSchedule schedule;
+    schedule.order = PointOrder::kGrayCode;
+    schedule.scheduler = SweepScheduler::kStealing;
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, s.grid.contentHash(),
+                                  sizeof(DesignQor)));
+        SweepLimits limits;
+        limits.pointBudget = 12;
+        limits.journal = &journal;
+        SweepOutcome<DesignQor> outcome = s.run(2, limits, schedule);
+        EXPECT_TRUE(outcome.stopped);
+        // The budget is exact even with workers racing for points.
+        EXPECT_EQ(outcome.evaluated, 12u);
+        EXPECT_FALSE(outcome.allCompleted());
+    }
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, s.grid.contentHash(),
+                                  sizeof(DesignQor)));
+        EXPECT_EQ(journal.size(), 12u);
+        SweepLimits limits;
+        limits.journal = &journal;
+        SweepOutcome<DesignQor> outcome = s.run(4, limits, schedule);
+        EXPECT_TRUE(outcome.allCompleted());
+        EXPECT_FALSE(outcome.stopped);
+        EXPECT_EQ(outcome.restored, 12u);
+        EXPECT_EQ(outcome.evaluated, s.grid.size() - 12u);
         for (size_t i = 0; i < s.grid.size(); ++i)
             EXPECT_TRUE(qorEq(outcome.results[i], s.clean[i]))
                 << "point " << i;

@@ -66,21 +66,114 @@ TEST(GridTest, RowMajorEnumerationMatchesNestedLoops)
 
 TEST(GridTest, ShardBoundsCoverEveryPointOnce)
 {
-    // runShards must partition [0, n) exactly, for any worker count.
-    for (unsigned threads : {1u, 2u, 3u, 4u, 8u, 13u}) {
-        std::vector<std::atomic<int>> seen(101);
-        ShardedSweep::runShards(
-            seen.size(),
-            [&]() {
-                return [&](size_t begin, size_t end) {
-                    for (size_t i = begin; i < end; ++i)
-                        seen[i].fetch_add(1);
-                };
-            },
-            threads);
-        for (size_t i = 0; i < seen.size(); ++i)
-            EXPECT_EQ(seen[i].load(), 1) << "threads=" << threads;
+    // runShards must partition [0, n) exactly, for any worker count —
+    // under both the static and the work-stealing scheduler.
+    for (SweepScheduler scheduler :
+         {SweepScheduler::kStatic, SweepScheduler::kStealing}) {
+        for (unsigned threads : {1u, 2u, 3u, 4u, 8u, 13u}) {
+            std::vector<std::atomic<int>> seen(101);
+            std::vector<Diagnostic> failures = ShardedSweep::runShards(
+                seen.size(),
+                [&]() {
+                    return [&](size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i)
+                            seen[i].fetch_add(1);
+                    };
+                },
+                threads, scheduler);
+            EXPECT_TRUE(failures.empty());
+            for (size_t i = 0; i < seen.size(); ++i)
+                EXPECT_EQ(seen[i].load(), 1)
+                    << "threads=" << threads << " scheduler="
+                    << sweepSchedulerName(scheduler);
+        }
     }
+}
+
+TEST(GridTest, GrayCodeOrderIsASingleStepBijection)
+{
+    // Mixed radices, including a degenerate axis: the reflected Gray
+    // code must visit every index exactly once, and consecutive
+    // positions must differ in exactly one axis by exactly one value
+    // step — rollovers included (the row-major order fails this at
+    // every rollover).
+    DesignPointGrid grid;
+    grid.addAxis("a", {1, 2});
+    grid.addAxis("b", {10, 20, 30});
+    grid.addAxis("c", {7});  // Degenerate: never steps.
+    grid.addAxis("d", {0, 1, 2, 3});
+
+    std::vector<uint8_t> seen(grid.size(), 0);
+    std::vector<size_t> prev, cur;
+    for (size_t pos = 0; pos < grid.size(); ++pos) {
+        size_t index = grid.orderedIndex(pos, PointOrder::kGrayCode);
+        ASSERT_LT(index, grid.size());
+        EXPECT_FALSE(seen[index]) << "index " << index << " repeated";
+        seen[index] = 1;
+
+        grid.decodeValueIndices(index, cur);
+        if (pos > 0) {
+            size_t moved_axes = 0;
+            size_t step = 0;
+            for (size_t a = 0; a < grid.numAxes(); ++a)
+                if (cur[a] != prev[a]) {
+                    ++moved_axes;
+                    step = std::max(cur[a], prev[a]) -
+                           std::min(cur[a], prev[a]);
+                }
+            EXPECT_EQ(moved_axes, 1u) << "position " << pos;
+            EXPECT_EQ(step, 1u) << "position " << pos;
+        }
+        prev = cur;
+
+        // Row-major is the identity.
+        EXPECT_EQ(grid.orderedIndex(pos, PointOrder::kRowMajor), pos);
+    }
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "index " << i << " never visited";
+}
+
+TEST(GridTest, OrderAndSchedulerParseRoundTrips)
+{
+    EXPECT_EQ(parsePointOrder("gray"), PointOrder::kGrayCode);
+    EXPECT_EQ(parsePointOrder("row-major"), PointOrder::kRowMajor);
+    EXPECT_EQ(parsePointOrder("zorder"), std::nullopt);
+    EXPECT_EQ(parsePointOrder(""), std::nullopt);
+    EXPECT_EQ(pointOrderName(PointOrder::kGrayCode), "gray");
+    EXPECT_EQ(pointOrderName(PointOrder::kRowMajor), "row-major");
+
+    EXPECT_EQ(parseSweepScheduler("static"), SweepScheduler::kStatic);
+    EXPECT_EQ(parseSweepScheduler("steal"), SweepScheduler::kStealing);
+    EXPECT_EQ(parseSweepScheduler("lifo"), std::nullopt);
+    EXPECT_EQ(sweepSchedulerName(SweepScheduler::kStatic), "static");
+    EXPECT_EQ(sweepSchedulerName(SweepScheduler::kStealing), "steal");
+
+    // Env: unset keeps the fast-path defaults; explicit values stick;
+    // garbage is a fatal user error (exit 65, never a silent default).
+    unsetenv("HIDA_DSE_ORDER");
+    unsetenv("HIDA_DSE_SCHED");
+    SweepSchedule defaults = sweepScheduleFromEnv();
+    EXPECT_EQ(defaults.order, PointOrder::kGrayCode);
+    EXPECT_EQ(defaults.scheduler, SweepScheduler::kStealing);
+
+    setenv("HIDA_DSE_ORDER", "row-major", 1);
+    setenv("HIDA_DSE_SCHED", "static", 1);
+    SweepSchedule explicit_schedule = sweepScheduleFromEnv();
+    EXPECT_EQ(explicit_schedule.order, PointOrder::kRowMajor);
+    EXPECT_EQ(explicit_schedule.scheduler, SweepScheduler::kStatic);
+    unsetenv("HIDA_DSE_ORDER");
+    unsetenv("HIDA_DSE_SCHED");
+
+    setenv("HIDA_DSE_ORDER", "zorder", 1);
+    EXPECT_EXIT(sweepScheduleFromEnv(),
+                ::testing::ExitedWithCode(kFatalExitCode),
+                "invalid HIDA_DSE_ORDER");
+    unsetenv("HIDA_DSE_ORDER");
+    setenv("HIDA_DSE_SCHED", "lifo", 1);
+    EXPECT_EXIT(sweepScheduleFromEnv(),
+                ::testing::ExitedWithCode(kFatalExitCode),
+                "invalid HIDA_DSE_SCHED");
+    unsetenv("HIDA_DSE_SCHED");
 }
 
 //===----------------------------------------------------------------------===//
@@ -139,7 +232,7 @@ TEST(ShardedSweepTest, ThreadCountNeverChangesResults)
     grid.addDirectiveAxis("cpf3", {1, 16}, 3, "cpf_loop");
     ASSERT_EQ(grid.size(), 48u);
 
-    auto sweep = [&](unsigned threads) {
+    auto sweep = [&](unsigned threads, const SweepSchedule& schedule) {
         // The same CloneSweepWorker recipe the fig1 bench runs.
         return ShardedSweep::run<DesignQor>(
             grid,
@@ -151,19 +244,38 @@ TEST(ShardedSweepTest, ThreadCountNeverChangesResults)
                     return w->evaluate(grid, vals);
                 };
             },
-            threads);
+            threads, schedule);
     };
 
-    std::vector<DesignQor> serial = sweep(1);
+    // The reference: serial, row-major, static — byte-for-byte the
+    // pre-scheduler engine. Every {order} x {scheduler} x {threads}
+    // combination must reproduce it exactly: results merge by grid
+    // index, so neither the visit order nor which worker lands on a
+    // point may leak into the output.
+    SweepSchedule reference_schedule;
+    reference_schedule.order = PointOrder::kRowMajor;
+    reference_schedule.scheduler = SweepScheduler::kStatic;
+    std::vector<DesignQor> serial = sweep(1, reference_schedule);
     ASSERT_EQ(serial.size(), grid.size());
-    for (unsigned threads : {2u, 4u, 8u}) {
-        std::vector<DesignQor> sharded = sweep(threads);
-        ASSERT_EQ(sharded.size(), serial.size());
-        for (size_t i = 0; i < serial.size(); ++i)
-            EXPECT_TRUE(qorEq(serial[i], sharded[i]))
-                << "point " << i << " diverged at threads=" << threads;
-        EXPECT_EQ(paretoFront(serial, device), paretoFront(sharded, device))
-            << "Pareto front diverged at threads=" << threads;
+    for (PointOrder order : {PointOrder::kRowMajor, PointOrder::kGrayCode}) {
+        for (SweepScheduler scheduler :
+             {SweepScheduler::kStatic, SweepScheduler::kStealing}) {
+            for (unsigned threads : {2u, 4u, 8u}) {
+                SweepSchedule schedule;
+                schedule.order = order;
+                schedule.scheduler = scheduler;
+                std::vector<DesignQor> sharded = sweep(threads, schedule);
+                ASSERT_EQ(sharded.size(), serial.size());
+                for (size_t i = 0; i < serial.size(); ++i)
+                    EXPECT_TRUE(qorEq(serial[i], sharded[i]))
+                        << "point " << i << " diverged at threads=" << threads
+                        << " order=" << pointOrderName(order)
+                        << " scheduler=" << sweepSchedulerName(scheduler);
+                EXPECT_EQ(paretoFront(serial, device),
+                          paretoFront(sharded, device))
+                    << "Pareto front diverged at threads=" << threads;
+            }
+        }
     }
 }
 

@@ -234,12 +234,21 @@ TEST(RandomTest, BudgetedUniqueInRange)
 TEST(ExhaustiveTest, ProposesWholeGridOnce)
 {
     DesignPointGrid grid = syntheticGrid();
-    StrategyOptions options;  // Defaults to exhaustive.
+    StrategyOptions options;  // Defaults to exhaustive, gray order.
     std::unique_ptr<SearchStrategy> exhaustive = makeStrategy(grid, options);
     std::vector<size_t> proposed = drain(*exhaustive);
     ASSERT_EQ(proposed.size(), grid.size());
-    for (size_t i = 0; i < proposed.size(); ++i)
-        EXPECT_EQ(proposed[i], i);  // Grid order: shard-compatible.
+    for (size_t pos = 0; pos < proposed.size(); ++pos)
+        EXPECT_EQ(proposed[pos],
+                  grid.orderedIndex(pos, PointOrder::kGrayCode));
+
+    // Explicit row-major reproduces the historical identity order.
+    options.order = PointOrder::kRowMajor;
+    std::unique_ptr<SearchStrategy> row_major = makeStrategy(grid, options);
+    std::vector<size_t> row_proposed = drain(*row_major);
+    ASSERT_EQ(row_proposed.size(), grid.size());
+    for (size_t i = 0; i < row_proposed.size(); ++i)
+        EXPECT_EQ(row_proposed[i], i);  // Grid order: shard-compatible.
 }
 
 //===----------------------------------------------------------------------===//
@@ -434,8 +443,16 @@ TEST(EvolveAcceptanceTest, RecoversLenetParetoFrontAtTenPercentBudget)
         so.kind = kind;  // Pinned default seed 42, default 10% budget.
         so.costLimit = 1.05;
         std::unique_ptr<SearchStrategy> strategy = makeStrategy(grid, so);
+        // Static schedule: the memo-hit comparison below needs the
+        // deterministic point-to-worker assignment — under kStealing
+        // the assignment (and so each worker's cache history) depends
+        // on timing. Results would be identical either way; the cache
+        // *counters* would not be stable.
+        SweepSchedule schedule;
+        schedule.scheduler = SweepScheduler::kStatic;
         return runStrategySweep<DesignQor>(grid, *strategy, factory,
-                                           objective, 4);
+                                           objective, 4, SweepLimits(),
+                                           schedule);
     };
     StrategyOutcome<DesignQor> evolve = sample(StrategyKind::kEvolve);
 
@@ -469,6 +486,90 @@ TEST(EvolveAcceptanceTest, RecoversLenetParetoFrontAtTenPercentBudget)
 }
 
 //===----------------------------------------------------------------------===//
+// Gray-code ordering vs row-major on the full fig1 grid
+//===----------------------------------------------------------------------===//
+
+TEST(OrderingTest, GrayCodeOrderingCutsRehashTrafficOverRowMajor)
+{
+    // The full fig1 LeNet factor grid (2400 points), batch 1, no
+    // dataflow — the grid the tentpole claim is about: a Gray-code walk
+    // mutates exactly one directive per step, so each point dirties
+    // (and re-hashes) strictly fewer subtrees than the row-major walk,
+    // whose axis rollovers rewrite several directives at once.
+    TargetDevice device = TargetDevice::pynqZ2();
+    OwnedModule prototype = buildLeNet(1);
+    FlowOptions options = optionsFor(Flow::kVitis);
+    options.enableTiling = false;
+    options.enableParallelization = false;
+    compile(prototype.get(), options, device);
+    FlowOptions partition = options;
+    partition.enableParallelization = true;
+
+    DesignPointGrid grid;
+    grid.addDirectiveAxis("kpf1", {1, 2, 3, 6}, 1, "kpf_loop");
+    grid.addDirectiveAxis("cpf1", {1}, 1, "cpf_loop");
+    grid.addDirectiveAxis("kpf2", {1, 2, 4, 8, 16}, 2, "kpf_loop");
+    grid.addDirectiveAxis("cpf2", {1, 2, 3, 6}, 2, "cpf_loop");
+    grid.addDirectiveAxis("kpf3", {1, 2, 3, 4, 6, 8}, 3, "kpf_loop");
+    grid.addDirectiveAxis("cpf3", {1, 2, 4, 8, 16}, 3, "cpf_loop");
+    ASSERT_EQ(grid.size(), 2400u);
+
+    auto factory = [&]() -> ResilientWorker<DesignQor> {
+        auto w = std::make_shared<CloneSweepWorker>(
+            prototype.get(), createArrayPartitionPass(partition), device);
+        ResilientWorker<DesignQor> worker;
+        worker.evaluate = [w, &grid](size_t, const std::vector<int64_t>& vals)
+            -> Result<DesignQor> { return w->evaluateChecked(grid, vals); };
+        worker.recover = [w]() { w->rebuild(); };
+        worker.cacheStats = [w]() { return w->estimator.cacheStats(); };
+        return worker;
+    };
+    auto objective = [&](size_t index, const DesignQor& q) {
+        return ParetoSample{index, q.res.utilization(device),
+                            q.throughput(device)};
+    };
+
+    // Serial exhaustive sweeps: one worker walking the whole grid in
+    // each order, so the cache counters measure the ordering alone
+    // (point-to-worker assignment and timing play no part).
+    auto sweep = [&](PointOrder order) {
+        StrategyOptions so;
+        so.order = order;
+        std::unique_ptr<SearchStrategy> strategy = makeStrategy(grid, so);
+        return runStrategySweep<DesignQor>(grid, *strategy, factory,
+                                           objective, 1);
+    };
+    StrategyOutcome<DesignQor> gray = sweep(PointOrder::kGrayCode);
+    StrategyOutcome<DesignQor> row = sweep(PointOrder::kRowMajor);
+
+    // The ordering never changes the output: every point completed and
+    // bit-identical QoR per grid index.
+    ASSERT_EQ(gray.completed, row.completed);
+    EXPECT_TRUE(gray.failures.empty());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(gray.completed[i]);
+        ASSERT_EQ(std::memcmp(&gray.results[i], &row.results[i],
+                              sizeof(DesignQor)),
+                  0)
+            << "point " << i << " diverged between orderings";
+    }
+
+    // The tentpole claim. The node-estimate memo never evicts, so its
+    // hit *count* is order-independent (hits = lookups - distinct
+    // subtree fingerprints) — assert that equality as the output-
+    // invariance witness. Where the ordering pays off is invalidation
+    // traffic: a Gray step rewrites exactly one directive, so strictly
+    // fewer subtrees are dirtied and re-hashed than under row-major's
+    // multi-axis rollovers (both sweeps are deterministic, so strict
+    // inequality is stable).
+    EXPECT_EQ(gray.stats.cache.hits + gray.stats.cache.misses,
+              row.stats.cache.hits + row.stats.cache.misses);
+    EXPECT_EQ(gray.stats.cache.hits, row.stats.cache.hits);
+    EXPECT_LT(gray.stats.cache.hashRecomputes,
+              row.stats.cache.hashRecomputes);
+}
+
+//===----------------------------------------------------------------------===//
 // Environment parsing
 //===----------------------------------------------------------------------===//
 
@@ -492,11 +593,18 @@ TEST(StrategyEnvTest, ParsesKindSeedAndBudget)
     unsetenv("HIDA_DSE_SEED");
     unsetenv("HIDA_DSE_BUDGET");
 
-    // Defaults: exhaustive, seed 42, budget 0 (= 10% of the grid).
+    // Defaults: exhaustive, seed 42, budget 0 (= 10% of the grid),
+    // gray order.
     StrategyOptions defaults = strategyOptionsFromEnv();
     EXPECT_EQ(defaults.kind, StrategyKind::kExhaustive);
     EXPECT_EQ(defaults.seed, 42u);
     EXPECT_EQ(defaults.budget, 0u);
+    EXPECT_EQ(defaults.order, PointOrder::kGrayCode);
+
+    // HIDA_DSE_ORDER reaches the exhaustive strategy's options.
+    setenv("HIDA_DSE_ORDER", "row-major", 1);
+    EXPECT_EQ(strategyOptionsFromEnv().order, PointOrder::kRowMajor);
+    unsetenv("HIDA_DSE_ORDER");
 }
 
 TEST(StrategyEnvTest, UnknownStrategyIsFatalUserError)

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Contract tests for validated environment parsing (src/support/env.h)
+ * and the knob readers built on it. The bugs these pin down: atoi-style
+ * parsing silently turned "abc" into 0 and "4x" into 4, and strtoull's
+ * ERANGE clamp turned an overflowing HIDA_DSE_SEED into a *different*
+ * seed than the one the user asked to reproduce. Bad knob input is a
+ * user error: exit kFatalExitCode (65), never a silent default.
+ *
+ * Death tests: setenv() before EXPECT_EXIT is inherited by the forked
+ * child, and each test restores the variables it touched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "src/dse/strategy.h"
+#include "src/dse/sweep.h"
+#include "src/support/diagnostics.h"
+#include "src/support/env.h"
+
+namespace hida {
+namespace {
+
+constexpr char kVar[] = "HIDA_ENV_TEST_KNOB";
+
+class EnvTest : public ::testing::Test {
+  protected:
+    void TearDown() override { unsetenv(kVar); }
+};
+
+TEST_F(EnvTest, EnvUintParsesValidInput)
+{
+    unsetenv(kVar);
+    EXPECT_EQ(envUint(kVar, 17), 17u);
+    setenv(kVar, "", 1);
+    EXPECT_EQ(envUint(kVar, 17), 17u);
+    setenv(kVar, "0", 1);
+    EXPECT_EQ(envUint(kVar, 17), 0u);
+    setenv(kVar, "4", 1);
+    EXPECT_EQ(envUint(kVar, 17), 4u);
+    // Max uint64 is representable; one more must not wrap (below).
+    setenv(kVar, "18446744073709551615", 1);
+    EXPECT_EQ(envUint(kVar, 0), UINT64_MAX);
+}
+
+TEST_F(EnvTest, EnvUintRejectsGarbage)
+{
+    setenv(kVar, "abc", 1);
+    EXPECT_EXIT(envUint(kVar, 0), ::testing::ExitedWithCode(kFatalExitCode),
+                kVar);
+    setenv(kVar, "4x", 1);
+    EXPECT_EXIT(envUint(kVar, 0), ::testing::ExitedWithCode(kFatalExitCode),
+                kVar);
+    setenv(kVar, "-3", 1);
+    EXPECT_EXIT(envUint(kVar, 0), ::testing::ExitedWithCode(kFatalExitCode),
+                kVar);
+    setenv(kVar, " 4", 1);
+    EXPECT_EXIT(envUint(kVar, 0), ::testing::ExitedWithCode(kFatalExitCode),
+                kVar);
+    // The ERANGE bug: 2^64 used to clamp to UINT64_MAX silently.
+    setenv(kVar, "18446744073709551616", 1);
+    EXPECT_EXIT(envUint(kVar, 0), ::testing::ExitedWithCode(kFatalExitCode),
+                "does not fit in 64 bits");
+}
+
+TEST_F(EnvTest, EnvDoubleParsesValidInput)
+{
+    unsetenv(kVar);
+    EXPECT_EQ(envDouble(kVar, 2.5), 2.5);
+    setenv(kVar, "", 1);
+    EXPECT_EQ(envDouble(kVar, 2.5), 2.5);
+    setenv(kVar, "0", 1);
+    EXPECT_EQ(envDouble(kVar, 2.5), 0.0);
+    setenv(kVar, "1500", 1);
+    EXPECT_EQ(envDouble(kVar, 0.0), 1500.0);
+    setenv(kVar, "0.25", 1);
+    EXPECT_EQ(envDouble(kVar, 0.0), 0.25);
+    setenv(kVar, "1e3", 1);
+    EXPECT_EQ(envDouble(kVar, 0.0), 1000.0);
+}
+
+TEST_F(EnvTest, EnvDoubleRejectsGarbage)
+{
+    // The atof bug: "abc" parsed as 0.0, silently disabling a deadline.
+    setenv(kVar, "abc", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), kVar);
+    // ... and "12ms" parsed as 12, dropping the (misguided) unit.
+    setenv(kVar, "12ms", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), kVar);
+    setenv(kVar, "-5", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), "non-negative");
+    setenv(kVar, "nan", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), kVar);
+    setenv(kVar, "inf", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), kVar);
+    setenv(kVar, "1e999", 1);
+    EXPECT_EXIT(envDouble(kVar, 0.0),
+                ::testing::ExitedWithCode(kFatalExitCode), "range");
+}
+
+class ThreadCountTest : public ::testing::Test {
+  protected:
+    void TearDown() override { unsetenv("HIDA_BENCH_THREADS"); }
+};
+
+TEST_F(ThreadCountTest, ParsesAndValidatesBenchThreads)
+{
+    unsetenv("HIDA_BENCH_THREADS");
+    unsigned fallback = std::thread::hardware_concurrency();
+    EXPECT_EQ(dseThreadCount(), fallback == 0 ? 1u : fallback);
+    setenv("HIDA_BENCH_THREADS", "4", 1);
+    EXPECT_EQ(dseThreadCount(), 4u);
+
+    // The atoi bug this knob shipped with: "abc" -> 0 -> silent
+    // hardware_concurrency fallback; "4x" -> 4. Both are now fatal,
+    // as is an explicit zero.
+    setenv("HIDA_BENCH_THREADS", "abc", 1);
+    EXPECT_EXIT(dseThreadCount(),
+                ::testing::ExitedWithCode(kFatalExitCode),
+                "HIDA_BENCH_THREADS");
+    setenv("HIDA_BENCH_THREADS", "4x", 1);
+    EXPECT_EXIT(dseThreadCount(),
+                ::testing::ExitedWithCode(kFatalExitCode),
+                "HIDA_BENCH_THREADS");
+    setenv("HIDA_BENCH_THREADS", "0", 1);
+    EXPECT_EXIT(dseThreadCount(),
+                ::testing::ExitedWithCode(kFatalExitCode),
+                "positive worker count");
+}
+
+class SeedEnvTest : public ::testing::Test {
+  protected:
+    void TearDown() override { unsetenv("HIDA_DSE_SEED"); }
+};
+
+TEST_F(SeedEnvTest, OverflowingSeedIsFatalNotClamped)
+{
+    // Reproducibility contract: strtoull's ERANGE clamp used to turn
+    // an overflowing seed into UINT64_MAX — a *valid-looking* sweep
+    // with a seed the user never asked for.
+    setenv("HIDA_DSE_SEED", "99999999999999999999", 1);
+    EXPECT_EXIT(strategyOptionsFromEnv(),
+                ::testing::ExitedWithCode(kFatalExitCode), "HIDA_DSE_SEED");
+}
+
+} // namespace
+} // namespace hida
