@@ -22,6 +22,9 @@
  *                                 <prefix>_{df|nodf}_b<batch>.jrnl and
  *                                 resume from it on restart;
  *   HIDA_SWEEP_DEADLINE_MS=<ms>   wall-clock budget per sweep.
+ * SIGINT/SIGTERM trip the process shutdown token (src/service/
+ * shutdown.h): the sweep stops between points, flushes its journal and
+ * the bench exits 128+sig — completed points are never lost mid-write.
  * On a clean, unlimited run stdout is byte-identical to the fault-free
  * engine (the bench.sh serial-vs-sharded sha gate proves it).
  *
@@ -60,6 +63,7 @@
 #include "src/dse/strategy.h"
 #include "src/dse/sweep.h"
 #include "src/models/dnn_models.h"
+#include "src/service/shutdown.h"
 #include "src/support/env.h"
 #include "src/transforms/passes.h"
 
@@ -144,6 +148,11 @@ paretoFront(std::vector<Point> points)
 int
 main()
 {
+    // SIGINT/SIGTERM trip the process shutdown token, which every sweep
+    // below observes between points: the interrupted sweep flushes its
+    // journal on the way out instead of dying mid-write, so completed
+    // points survive to the next run.
+    installShutdownHandlers();
     TargetDevice device = TargetDevice::pynqZ2();
     const std::vector<int64_t> batches = {1, 5, 10, 15, 20};
     const DesignPointGrid grid = factorGrid();
@@ -195,6 +204,7 @@ main()
 
             SweepLimits limits;
             limits.deadlineSeconds = deadline_seconds;
+            limits.cancel = &processShutdownToken();
             SweepJournal journal;
             if (journal_prefix != nullptr && *journal_prefix != '\0') {
                 std::string path =
@@ -254,6 +264,15 @@ main()
                 total_stats.stopped = true;
                 if (outcome.stats.stopReason)
                     emitDiagnostic(*outcome.stats.stopReason);
+            }
+
+            // Interrupted: the engine already flushed the journal on
+            // its way out; exit with the conventional signal code
+            // instead of burning the remaining configurations.
+            if (processShutdownToken().cancelled()) {
+                inform("interrupted: journal flushed; exiting");
+                int sig = shutdownSignal();
+                return sig != 0 ? shutdownExitCode(sig) : 1;
             }
 
             // Deterministic merge: grid order, same filter as the serial

@@ -85,7 +85,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target bench_fig1_lenet_dse bench_compile_time
+    --target bench_fig1_lenet_dse bench_compile_time bench_service_traffic
 
 # ---- DSE sweep: wall time over the fixed 24,000-point grid ----------------
 # Two timed runs: serial (HIDA_BENCH_THREADS=1, the machine-comparable
@@ -148,6 +148,34 @@ EOF
 mv "$REPO_ROOT/BENCH_dse.json.tmp" "$REPO_ROOT/BENCH_dse.json"
 echo "DSE sweep: serial ${serial_wall_s}s (${serial_pps} pps)," \
      "threads=$THREADS ${wall_s}s (${pps} pps), identical output"
+
+# ---- Service traffic: requests/sec, p99, shed + store hit rate ------------
+# The fig1/fig10/fig11-shaped closed-loop traffic mix through one
+# DseService (docs/service.md), against a fresh persistent QoR store.
+# Totality (every request terminally answered) is checked by the bench
+# itself — a violation fails this script right here. The kill/restart
+# warm-start leg lives in scripts/service_soak.sh, not in this timing
+# run.
+SERVICE_STATS="$BUILD_DIR/bench_service_traffic.stats.json"
+SERVICE_STORE="$BUILD_DIR/bench_service_traffic.store.bin"
+rm -f "$SERVICE_STATS" "$SERVICE_STORE" "$SERVICE_STORE.tmp"
+HIDA_QOR_STORE="$SERVICE_STORE" HIDA_SERVICE_STATS="$SERVICE_STATS" \
+    HIDA_SERVICE_REQUESTS="${HIDA_SERVICE_REQUESTS:-24}" \
+    "$BUILD_DIR/bench_service_traffic"
+
+STAGED_TMPS+=("$REPO_ROOT/BENCH_service.json.tmp")
+cat > "$REPO_ROOT/BENCH_service.json.tmp" <<EOF
+{
+  "bench": "bench_service_traffic",
+  "threads": $THREADS,
+  "hardware_concurrency": $HW_CONCURRENCY,
+  "service": $(cat "$SERVICE_STATS"),
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "commit": "$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+}
+EOF
+mv "$REPO_ROOT/BENCH_service.json.tmp" "$REPO_ROOT/BENCH_service.json"
+echo "Wrote BENCH_service.json"
 
 # ---- Pipeline compile-time microbenchmarks --------------------------------
 STAGED_TMPS+=("$REPO_ROOT/BENCH_compile_time.json.tmp")

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Kill-and-restart soak of the DSE service core (the CI `service-soak`
+# job; also runnable locally):
+#
+#   Phase A  clean traffic against a fresh persistent QoR store — every
+#            request must be terminally answered (the bench exits
+#            non-zero on any totality violation).
+#   Phase B  the same traffic under deterministic fault injection
+#            (HIDA_FAULT_INJECT covering every site), SIGTERMed mid-run:
+#            the service must drain gracefully — in-flight finished
+#            early, queued answered `shutdown`, store flushed — and the
+#            bench must exit 143 (128+SIGTERM) with totality intact.
+#   Phase C  a restarted process on the same store serves the identical
+#            workload warm: the store hit rate must exceed 50% (phase A
+#            already paid for every point, so a healthy store serves
+#            nearly everything from disk).
+#
+# Knobs: HIDA_SERVICE_REQUESTS scales phases A and C (default 24 —
+# small enough for sanitizer builds); phase B submits 500x that so the
+# SIGTERM is guaranteed to land mid-run — after the signal, the
+# still-unsubmitted tail drains as instant `shutdown` rejections, so a
+# big count costs milliseconds, not minutes. SOAK_KILL_DELAY_S moves
+# the SIGTERM; BUILD_DIR picks the tree (a TSan build makes phase B a
+# data-race hunt). Work files live in a mktemp dir and are removed on
+# success.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BENCH="$BUILD_DIR/bench_service_traffic"
+REQUESTS="${HIDA_SERVICE_REQUESTS:-24}"
+FAULT_REQUESTS="${SOAK_FAULT_REQUESTS:-$((REQUESTS * 500))}"
+KILL_DELAY="${SOAK_KILL_DELAY_S:-2}"
+
+if [[ ! -x "$BENCH" ]]; then
+    echo "FAIL: $BENCH not built (cmake --build $BUILD_DIR" \
+         "--target bench_service_traffic)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+STORE="$WORK/qor_store.bin"
+trap 'rm -rf "$WORK"' EXIT
+
+# ---- Phase A: clean traffic, cold store -----------------------------------
+echo "== phase A: clean traffic ($REQUESTS requests, cold store) =="
+HIDA_QOR_STORE="$STORE" HIDA_SERVICE_REQUESTS="$REQUESTS" \
+    HIDA_SERVICE_STATS="$WORK/a.json" "$BENCH"
+[[ -s "$STORE" ]] || { echo "FAIL: phase A left no store file" >&2; exit 1; }
+
+# ---- Phase B: fault traffic, SIGTERM mid-run ------------------------------
+echo "== phase B: fault traffic ($FAULT_REQUESTS requests) + SIGTERM" \
+     "after ${KILL_DELAY}s =="
+HIDA_FAULT_INJECT=any:42:0.01 HIDA_QOR_STORE="$STORE" \
+    HIDA_SERVICE_REQUESTS="$FAULT_REQUESTS" \
+    HIDA_SERVICE_STATS="$WORK/b.json" "$BENCH" &
+pid=$!
+sleep "$KILL_DELAY"
+kill -TERM "$pid" 2>/dev/null || true
+rc=0
+wait "$pid" || rc=$?
+if [[ "$rc" -eq 143 ]]; then
+    echo "OK: phase B drained gracefully on SIGTERM (exit 143)"
+elif [[ "$rc" -eq 0 ]]; then
+    # The run beat the kill — totality still proven, but say so: the
+    # kill delay (or request count) should be tuned up on this machine.
+    echo "WARN: phase B finished before the SIGTERM landed; raise" \
+         "SOAK_FAULT_REQUESTS or lower SOAK_KILL_DELAY_S for a real" \
+         "mid-run kill" >&2
+else
+    echo "FAIL: phase B exited $rc (expected 143 after graceful drain," \
+         "or 0)" >&2
+    exit 1
+fi
+[[ -s "$WORK/b.json" ]] ||
+    { echo "FAIL: phase B wrote no stats (drain lost the flush?)" >&2
+      exit 1; }
+
+# ---- Phase C: restart, warm store -----------------------------------------
+echo "== phase C: restarted process, warm store =="
+HIDA_QOR_STORE="$STORE" HIDA_SERVICE_REQUESTS="$REQUESTS" \
+    HIDA_SERVICE_STATS="$WORK/c.json" "$BENCH"
+
+# The acceptance bar: a restart on the surviving store must warm-start
+# with a hit rate above 0.5.
+hit_rate=$(grep -oE '"store_hit_rate": [0-9.]+' "$WORK/c.json" |
+           grep -oE '[0-9.]+$')
+ok=$(awk "BEGIN { print ($hit_rate > 0.5) ? 1 : 0 }")
+if [[ "$ok" -ne 1 ]]; then
+    echo "FAIL: warm-start hit rate $hit_rate <= 0.5 — the store did" \
+         "not survive the kill/restart cycle" >&2
+    exit 1
+fi
+echo "OK: service soak passed (warm-start hit rate $hit_rate)"

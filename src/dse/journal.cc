@@ -48,6 +48,13 @@ SweepJournal::open(std::string path, uint64_t grid_hash, size_t payload_size,
     loadStats_ = LoadStats();
     records_.clear();
 
+    // Hygiene: a crash between the snapshot write and the rename leaves
+    // a stale "<path>.tmp" behind forever — <path> itself is always the
+    // trusted complete journal (rename is atomic), so the orphan is
+    // either a torn partial or a duplicate. Drop it on open so crashed
+    // runs do not accumulate junk next to the journal.
+    std::remove((path_ + ".tmp").c_str());
+
     std::FILE* file = std::fopen(path_.c_str(), "rb");
     if (file == nullptr)
         return std::nullopt;  // fresh journal

@@ -65,8 +65,10 @@ class SweepJournal {
      * *recoverable* kJournalMismatch/kJournalCorrupt Diagnostic when
      * the existing file was rejected or had a corrupt tail — the
      * journal is usable either way (mismatched files are ignored and
-     * overwritten by the next flush). Appends are batched: every
-     * @p batch_records completions trigger a snapshot flush.
+     * overwritten by the next flush). A stale "<path>.tmp" orphaned by
+     * a crash mid-flush is removed — <path> is always the trusted copy.
+     * Appends are batched: every @p batch_records completions trigger a
+     * snapshot flush.
      *
      * Driver-thread only — open() takes no lock; workers may share the
      * journal (record/restore/flush) only after it returns.

@@ -435,11 +435,13 @@ runStrategySweep(const DesignPointGrid& grid, SearchStrategy& strategy,
                 }
             };
             fns.finish = [&, worker]() {
-                if (!worker->cacheStats)
-                    return;
-                QorCacheStats stats = worker->cacheStats();
-                std::lock_guard<std::mutex> lock(merge_mutex);
-                out.stats.cache += stats;
+                if (worker->cacheStats) {
+                    QorCacheStats stats = worker->cacheStats();
+                    std::lock_guard<std::mutex> lock(merge_mutex);
+                    out.stats.cache += stats;
+                }
+                if (worker->retire)
+                    worker->retire();
             };
             return fns;
         },

@@ -69,6 +69,10 @@ namespace hida {
 /**
  * Cooperative cancellation: any thread may cancel(); workers observe it
  * between points and stop their shard. Completed points stay valid.
+ * A token may chain() to a parent (e.g. the process-wide shutdown
+ * token, src/service/shutdown.h): cancelled() then reports true when
+ * either this token or any ancestor was cancelled, so one SIGTERM stops
+ * every request-scoped sweep without the service having to track them.
  */
 class CancelToken {
   public:
@@ -76,11 +80,23 @@ class CancelToken {
     bool
     cancelled() const
     {
-        return cancelled_.load(std::memory_order_acquire);
+        if (cancelled_.load(std::memory_order_acquire))
+            return true;
+        const CancelToken* parent = parent_.load(std::memory_order_acquire);
+        return parent != nullptr && parent->cancelled();
+    }
+
+    /** Also observe @p parent (not owned; must outlive this token;
+     * nullptr unchains). Safe to call concurrently with cancelled(). */
+    void
+    chain(const CancelToken* parent)
+    {
+        parent_.store(parent, std::memory_order_release);
     }
 
   private:
     std::atomic<bool> cancelled_{false};
+    std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 /** One failed sweep point: where (grid index) and why (structured). */
@@ -228,6 +244,14 @@ struct ResilientWorker {
      * to prove warm-cache behavior; plain runResilient ignores it.
      */
     std::function<QorCacheStats()> cacheStats;
+    /**
+     * Optional: called once when the strategy executor retires the
+     * worker (after cacheStats, still on the worker's thread). The
+     * service (src/service/service.h) uses it to return a warm clone +
+     * estimator to its session pool so the *next* request on the same
+     * prototype starts warm. Plain runResilient ignores it.
+     */
+    std::function<void()> retire;
 };
 
 /**

@@ -1,0 +1,640 @@
+#include "src/service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/models/dnn_models.h"
+#include "src/service/shutdown.h"
+#include "src/support/env.h"
+#include "src/support/fault_inject.h"
+#include "src/support/utils.h"
+#include "src/transforms/passes.h"
+
+namespace hida {
+
+namespace {
+
+/** Bump whenever ServicePoint's layout *or meaning* (estimator
+ * semantics) changes: the store header carries this folded tag, so a
+ * process with different semantics treats old files as misses. */
+constexpr uint64_t kStoreSchemaVersion = 1;
+
+uint64_t
+serviceStoreTag()
+{
+    return hashCombine(hashMix(UINT64_C(0x71737431)),  // 'qst1'
+                       hashCombine(kStoreSchemaVersion,
+                                   sizeof(ServicePoint)));
+}
+
+/** Process-independent base of this session's store keys: the request
+ * coordinates that select the prototype, hashed by *content* (name
+ * bytes, not intern ids) like DesignPointGrid::contentHash. */
+uint64_t
+serviceModelHash(const ServiceRequest& request)
+{
+    uint64_t h = hashMix(UINT64_C(0x48494441));  // 'HIDA'
+    for (unsigned char c : request.model)
+        h = hashCombine(h, c);
+    h = hashCombine(h, static_cast<uint64_t>(request.batch));
+    return hashCombine(h, request.dataflow ? 1 : 0);
+}
+
+bool
+knownServiceModel(const std::string& model)
+{
+    if (model == "lenet")
+        return true;
+    for (const std::string& name : dnnModelNames())
+        if (name == model)
+            return true;
+    return false;
+}
+
+/** Transient per-point failures worth a deterministic re-roll; every
+ * other code is a property of the design point itself and would fail
+ * identically again. */
+bool
+transientPointFailure(ErrorCode code)
+{
+    return code == ErrorCode::kFaultInjected ||
+           code == ErrorCode::kWorkerFailed;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Exponential backoff before retry @p attempt (1-based); a zero base
+ * keeps tests instant. Timing never feeds any retry *decision*. */
+void
+backoffSleep(double base_ms, size_t attempt)
+{
+    if (base_ms <= 0.0)
+        return;
+    const unsigned shift = attempt > 16 ? 16 : static_cast<unsigned>(attempt);
+    const double ms = base_ms * static_cast<double>(1u << (shift - 1));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+} // namespace
+
+const char*
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::kCompleted:
+        return "completed";
+      case RequestStatus::kPartial:
+        return "partial";
+      case RequestStatus::kShed:
+        return "shed";
+      case RequestStatus::kRejected:
+        return "rejected";
+      case RequestStatus::kFailed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+ServiceOptions
+ServiceOptions::fromEnv()
+{
+    ServiceOptions options;
+    options.sweepThreads = static_cast<unsigned>(
+        envUint("HIDA_SERVICE_WORKERS", dseThreadCount()));
+    options.maxQueueDepth = envUint("HIDA_SERVICE_QUEUE_DEPTH", 64);
+    options.maxRetries = envUint("HIDA_SERVICE_RETRIES", 2);
+    if (const char* store = std::getenv("HIDA_QOR_STORE"))
+        options.storePath = store;
+    options.schedule = sweepScheduleFromEnv();
+    return options;
+}
+
+DseService::DseService(ServiceOptions options) : options_(std::move(options))
+{
+    // One SIGINT/SIGTERM (shutdown.h) cancels every request-observing
+    // loop of this service through the chain.
+    cancel_.chain(&processShutdownToken());
+    if (auto diag =
+            store_.open(options_.storePath, serviceStoreTag(),
+                        sizeof(ServicePoint)))
+        emitDiagnostic(*diag);  // degraded to misses, never an error
+    dispatcher_ = std::thread([this] { dispatcherMain(); });
+}
+
+DseService::~DseService() { shutdown(); }
+
+uint64_t
+DseService::submit(ServiceRequest request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t id = nextId_++;
+    ++stats_.submitted;
+    outstanding_[id] = 1;
+
+    auto answerLocked = [&](RequestStatus status, ErrorCode code,
+                            std::string message) {
+        ServiceResponse response;
+        response.id = id;
+        response.status = status;
+        response.diag =
+            Diagnostic(code, std::move(message), "service admission");
+        respondLocked(std::move(response));
+        return id;
+    };
+
+    if (shuttingDown_)
+        return answerLocked(RequestStatus::kRejected, ErrorCode::kShutdown,
+                            "service shutting down; request not run");
+    // Tenant-input validation: malformed requests are answered, never
+    // fataled — the process serves other tenants too.
+    if (!knownServiceModel(request.model))
+        return answerLocked(RequestStatus::kRejected,
+                            ErrorCode::kInvalidRequest,
+                            strCat("unknown model '", request.model, "'"));
+    if (request.grid.numAxes() == 0)
+        return answerLocked(RequestStatus::kRejected,
+                            ErrorCode::kInvalidRequest,
+                            "request grid has no axes");
+    if (request.batch <= 0)
+        return answerLocked(RequestStatus::kRejected,
+                            ErrorCode::kInvalidRequest,
+                            strCat("invalid batch ", request.batch));
+    if (request.deadlineSeconds < 0.0)
+        return answerLocked(RequestStatus::kRejected,
+                            ErrorCode::kInvalidRequest,
+                            "negative deadline");
+
+    // Admission control: shed at the hard depth bound; optionally
+    // degrade (sampled strategy, 1/8 budget) from the soft bound up, so
+    // an overload burst answers fast-and-cheap instead of rejecting.
+    if (options_.maxQueueDepth > 0 &&
+        queue_.size() >= options_.maxQueueDepth)
+        return answerLocked(
+            RequestStatus::kShed, ErrorCode::kOverloaded,
+            strCat("queue depth ", queue_.size(), " at bound ",
+                   options_.maxQueueDepth, "; request shed"));
+    Pending pending;
+    pending.id = id;
+    if (options_.degradeQueueDepth > 0 &&
+        queue_.size() >= options_.degradeQueueDepth) {
+        const size_t budget =
+            request.strategy.budget != 0
+                ? request.strategy.budget
+                : std::max<size_t>(1, request.grid.size() / 10);
+        request.strategy.kind = StrategyKind::kRandom;
+        request.strategy.budget = std::max<size_t>(1, budget / 8);
+        pending.degraded = true;
+    }
+    pending.request = std::move(request);
+    pending.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(pending));
+    queueCv_.notify_one();
+    return id;
+}
+
+ServiceResponse
+DseService::wait(uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    HIDA_ASSERT(responses_.count(id) != 0 || outstanding_.count(id) != 0,
+                "wait() on unknown or already-consumed request id ", id);
+    responseCv_.wait(lock, [&] { return responses_.count(id) != 0; });
+    auto it = responses_.find(id);
+    ServiceResponse response = std::move(it->second);
+    responses_.erase(it);
+    return response;
+}
+
+void
+DseService::beginShutdown()
+{
+    cancel_.cancel();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+        drainQueueLocked();
+    }
+    queueCv_.notify_all();
+}
+
+void
+DseService::shutdown()
+{
+    beginShutdown();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    queueCv_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    store_.flush();
+}
+
+ServiceStats
+DseService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+size_t
+DseService::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+DseService::respond(ServiceResponse response)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    respondLocked(std::move(response));
+}
+
+void
+DseService::respondLocked(ServiceResponse response)
+{
+    // The totality invariant: exactly one terminal response per
+    // submitted id. A double answer is a service bug, not tenant input.
+    auto it = outstanding_.find(response.id);
+    HIDA_ASSERT(it != outstanding_.end(), "request ", response.id,
+                " answered twice (or never submitted)");
+    outstanding_.erase(it);
+    ++stats_.answered;
+    switch (response.status) {
+      case RequestStatus::kCompleted:
+        ++stats_.completed;
+        break;
+      case RequestStatus::kPartial:
+        ++stats_.partial;
+        break;
+      case RequestStatus::kShed:
+        ++stats_.shed;
+        break;
+      case RequestStatus::kRejected:
+        ++stats_.rejected;
+        break;
+      case RequestStatus::kFailed:
+        ++stats_.failed;
+        break;
+    }
+    if (response.degraded)
+        ++stats_.degraded;
+    stats_.pointRetries += response.pointRetries;
+    stats_.requestRetries += response.requestRetries;
+    responses_.emplace(response.id, std::move(response));
+    responseCv_.notify_all();
+}
+
+void
+DseService::drainQueueLocked()
+{
+    while (!queue_.empty()) {
+        Pending pending = std::move(queue_.front());
+        queue_.pop_front();
+        ServiceResponse response;
+        response.id = pending.id;
+        response.degraded = pending.degraded;
+        response.status = RequestStatus::kRejected;
+        response.diag =
+            Diagnostic(ErrorCode::kShutdown,
+                       "service shutting down; request not run", "service");
+        response.queueSeconds = secondsSince(pending.enqueued);
+        respondLocked(std::move(response));
+    }
+}
+
+void
+DseService::dispatcherMain()
+{
+    setDiagnosticThreadTag("svc");
+    for (;;) {
+        Pending pending;
+        bool have = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            // wait_for, not wait: a signal handler cannot notify a
+            // condvar, so signal-driven shutdown is noticed on the
+            // poll tick through the chained cancel token.
+            queueCv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+                return stop_ || shuttingDown_ || !queue_.empty();
+            });
+            if (cancel_.cancelled())
+                shuttingDown_ = true;
+            if (shuttingDown_ || stop_) {
+                drainQueueLocked();
+                break;
+            }
+            if (!queue_.empty()) {
+                pending = std::move(queue_.front());
+                queue_.pop_front();
+                have = true;
+            }
+        }
+        if (!have)
+            continue;
+        // Age-based shedding at dequeue: a request that already waited
+        // past the bound would only add to the backlog it suffered from.
+        const double age = secondsSince(pending.enqueued);
+        if (options_.maxQueueAgeSeconds > 0.0 &&
+            age > options_.maxQueueAgeSeconds) {
+            ServiceResponse response;
+            response.id = pending.id;
+            response.degraded = pending.degraded;
+            response.status = RequestStatus::kShed;
+            response.queueSeconds = age;
+            response.diag = Diagnostic(
+                ErrorCode::kOverloaded,
+                strCat("request waited ", age, "s (bound ",
+                       options_.maxQueueAgeSeconds, "s); request shed"),
+                "service");
+            respond(std::move(response));
+            continue;
+        }
+        runRequest(std::move(pending));
+    }
+    store_.flush();
+    setDiagnosticThreadTag("");
+}
+
+DseService::Session&
+DseService::sessionFor(const ServiceRequest& request)
+{
+    std::string key = strCat(request.model, "|b", request.batch,
+                             request.dataflow ? "|df" : "|nodf");
+    auto it = sessions_.find(key);
+    if (it != sessions_.end())
+        return *it->second;
+
+    // First request on this key: build + lower the prototype once. This
+    // is the expensive artifact — every later request reuses it (and
+    // the warm clones its sweeps leave in `idle`).
+    auto session = std::make_unique<Session>();
+    session->batch = request.batch;
+    session->modelHash = serviceModelHash(request);
+    OwnedModule module = request.model == "lenet"
+                             ? buildLeNet(request.batch)
+                             : buildDnnModel(request.model);
+    FlowOptions options =
+        optionsFor(request.dataflow ? Flow::kHida : Flow::kVitis);
+    options.enableTiling = false;
+    options.enableParallelization = false;
+    compile(module.get(), options, options_.device);
+    if (auto diag = verifySweepPrototype(module.get()))
+        session->buildDiag = *diag;  // served as kFailed, never an abort
+    session->prototype = std::move(module);
+    session->partitionOptions = options;
+    session->partitionOptions.enableParallelization = true;
+
+    Session& ref = *session;
+    sessions_.emplace(std::move(key), std::move(session));
+    return ref;
+}
+
+std::shared_ptr<CloneSweepWorker>
+DseService::claimWorker(Session& session)
+{
+    {
+        std::lock_guard<std::mutex> lock(session.mutex);
+        if (!session.idle.empty()) {
+            std::shared_ptr<CloneSweepWorker> worker =
+                std::move(session.idle.back());
+            session.idle.pop_back();
+            return worker;
+        }
+    }
+    return std::make_shared<CloneSweepWorker>(
+        session.prototype.get(),
+        createArrayPartitionPass(session.partitionOptions),
+        options_.device);
+}
+
+void
+DseService::releaseWorker(Session& session,
+                          std::shared_ptr<CloneSweepWorker> worker)
+{
+    std::lock_guard<std::mutex> lock(session.mutex);
+    session.idle.push_back(std::move(worker));
+}
+
+Result<ServicePoint>
+DseService::evaluatePoint(Session& session, CloneSweepWorker& worker,
+                          const DesignPointGrid& grid, size_t index,
+                          const std::vector<int64_t>& values)
+{
+    ServicePoint point;
+    // Process-independent key: any process (or tenant) that evaluated
+    // this exact (prototype, directive assignment) already paid for it.
+    const uint64_t key =
+        hashCombine(session.modelHash, grid.pointFingerprint(index));
+    if (store_.lookup(key, &point))
+        return point;
+    Result<DesignQor> qor = worker.evaluateChecked(grid, values);
+    if (!qor.ok())
+        return qor.takeDiag();
+    point.util = qor.value().res.utilization(options_.device);
+    point.throughput = qor.value().throughput(options_.device) *
+                       static_cast<double>(session.batch);
+    store_.insert(key, &point);
+    return point;
+}
+
+void
+DseService::runRequest(Pending pending)
+{
+    // Request-scoped tag via the RAII scope: this thread is reused by
+    // the next request, so a bare set would leak the tag across tenants
+    // (pinned by tests/diagnostics_test.cc).
+    DiagnosticTagScope tag(strCat("req", pending.id));
+    const auto start = std::chrono::steady_clock::now();
+    ServiceResponse response;
+    response.id = pending.id;
+    response.degraded = pending.degraded;
+    response.queueSeconds = secondsSince(pending.enqueued);
+
+    const bool has_deadline = pending.request.deadlineSeconds > 0.0;
+    double remaining = 0.0;
+    if (has_deadline) {
+        // Queue wait counts against the tenant's deadline: a request
+        // that waited it out is answered now, not after a futile sweep.
+        remaining = pending.request.deadlineSeconds - response.queueSeconds;
+        if (remaining <= 0.0) {
+            response.status = RequestStatus::kPartial;
+            response.diag =
+                Diagnostic(ErrorCode::kDeadlineExceeded,
+                           "deadline exhausted while queued", "service");
+            respond(std::move(response));
+            return;
+        }
+    }
+
+    // Request-level fault site, with the same bounded deterministic
+    // retry discipline as failed points: attempt k re-rolls under key
+    // hash(id, k), so the schedule is identical at any thread count.
+    for (size_t attempt = 0;; ++attempt) {
+        FaultScope scope(attempt == 0
+                             ? pending.id
+                             : hashCombine(hashMix(pending.id), attempt));
+        auto injected = maybeInjectFault(
+            FaultSite::kService, strCat("request #", pending.id));
+        if (!injected)
+            break;
+        if (attempt >= options_.maxRetries) {
+            response.status = RequestStatus::kFailed;
+            response.diag = std::move(*injected);
+            respond(std::move(response));
+            return;
+        }
+        ++response.requestRetries;
+        backoffSleep(options_.retryBackoffMs, attempt + 1);
+    }
+
+    Session& session = sessionFor(pending.request);
+    if (session.buildDiag) {
+        response.status = RequestStatus::kFailed;
+        response.diag = *session.buildDiag;
+        respond(std::move(response));
+        return;
+    }
+
+    const DesignPointGrid& grid = pending.request.grid;
+    SweepLimits limits;
+    limits.cancel = &cancel_;
+    if (has_deadline)
+        limits.deadlineSeconds = remaining;
+
+    const QorStore::Stats store_before = store_.stats();
+    std::function<ResilientWorker<ServicePoint>()> factory =
+        [this, &session, &grid]() {
+            std::shared_ptr<CloneSweepWorker> w = claimWorker(session);
+            ResilientWorker<ServicePoint> worker;
+            worker.evaluate =
+                [this, &session, &grid, w](
+                    size_t index,
+                    const std::vector<int64_t>& values)
+                -> Result<ServicePoint> {
+                return evaluatePoint(session, *w, grid, index, values);
+            };
+            worker.recover = [w]() { w->rebuild(); };
+            worker.cacheStats = [w]() { return w->estimator.cacheStats(); };
+            worker.retire = [&session, w]() { releaseWorker(session, w); };
+            return worker;
+        };
+
+    std::unique_ptr<SearchStrategy> strategy =
+        makeStrategy(grid, pending.request.strategy);
+    StrategyOutcome<ServicePoint> outcome =
+        runStrategySweep<ServicePoint>(
+            grid, *strategy, factory,
+            [](size_t index, const ServicePoint& point) {
+                return ParetoSample{index, point.util, point.throughput};
+            },
+            options_.sweepThreads, limits, options_.schedule);
+
+    response.results = std::move(outcome.results);
+    response.completed = std::move(outcome.completed);
+    response.failures = std::move(outcome.failures);
+    response.workerFailures = std::move(outcome.stats.workerFailures);
+    // The sweep counts every successful evaluate() — including ones the
+    // store answered. "evaluated" reports genuinely recomputed points,
+    // so warm-started requests read as (evaluated 0, storeHits N).
+    const size_t sweep_hits = store_.stats().hits - store_before.hits;
+    response.evaluated = outcome.stats.evaluated > sweep_hits
+                             ? outcome.stats.evaluated - sweep_hits
+                             : 0;
+
+    // Bounded deterministic retry of transient point failures, serial
+    // and in grid order on this thread: attempt k re-rolls point i's
+    // fault dice under key hash(i, k) — never under timing or thread
+    // placement, so retried runs stay bit-identical at any thread count.
+    if (!outcome.stats.stopped && !response.failures.empty() &&
+        options_.maxRetries > 0) {
+        std::shared_ptr<CloneSweepWorker> retry_worker;
+        std::vector<int64_t> values;
+        for (size_t attempt = 1; attempt <= options_.maxRetries;
+             ++attempt) {
+            bool any_transient = false;
+            for (const PointFailure& failure : response.failures)
+                if (transientPointFailure(failure.diag.code))
+                    any_transient = true;
+            if (!any_transient || cancel_.cancelled())
+                break;
+            if (has_deadline && secondsSince(start) >= remaining)
+                break;
+            backoffSleep(options_.retryBackoffMs, attempt);
+            std::vector<PointFailure> still;
+            for (PointFailure& failure : response.failures) {
+                if (!transientPointFailure(failure.diag.code) ||
+                    cancel_.cancelled()) {
+                    still.push_back(std::move(failure));
+                    continue;
+                }
+                if (!retry_worker)
+                    retry_worker = claimWorker(session);
+                grid.decode(failure.index, values);
+                FaultScope scope(
+                    hashCombine(hashMix(failure.index), attempt));
+                ++response.pointRetries;
+                Result<ServicePoint> result =
+                    [&]() -> Result<ServicePoint> {
+                    try {
+                        return evaluatePoint(session, *retry_worker, grid,
+                                             failure.index, values);
+                    } catch (const std::exception& e) {
+                        return Diagnostic(
+                            ErrorCode::kWorkerFailed,
+                            strCat("exception escaped retry: ", e.what()),
+                            strCat("point #", failure.index));
+                    } catch (...) {
+                        return Diagnostic(
+                            ErrorCode::kWorkerFailed,
+                            "unknown exception escaped retry",
+                            strCat("point #", failure.index));
+                    }
+                }();
+                if (result.ok()) {
+                    response.results[failure.index] = result.value();
+                    response.completed[failure.index] = 1;
+                    ++response.evaluated;
+                } else {
+                    failure.diag = result.takeDiag();
+                    retry_worker->rebuild();
+                    still.push_back(std::move(failure));
+                }
+            }
+            response.failures = std::move(still);
+        }
+        if (retry_worker)
+            releaseWorker(session, std::move(retry_worker));
+    }
+
+    response.storeHits = store_.stats().hits - store_before.hits;
+    response.runSeconds = secondsSince(start);
+    if (outcome.stats.stopped && outcome.stats.stopReason) {
+        response.status = RequestStatus::kPartial;
+        // The only canceller of this token chain is shutdown (service
+        // or process signal) — report it as such, not as a bare cancel.
+        if (outcome.stats.stopReason->code == ErrorCode::kCancelled &&
+            cancel_.cancelled())
+            response.diag = Diagnostic(
+                ErrorCode::kShutdown,
+                "service shutting down; partial results", "service");
+        else
+            response.diag = *outcome.stats.stopReason;
+    } else {
+        response.status = RequestStatus::kCompleted;
+    }
+    respond(std::move(response));
+}
+
+} // namespace hida

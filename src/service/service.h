@@ -1,0 +1,272 @@
+#ifndef HIDA_SERVICE_SERVICE_H
+#define HIDA_SERVICE_SERVICE_H
+
+/**
+ * @file
+ * Long-lived, multi-tenant DSE service core (docs/service.md): a
+ * request queue in front of the resilient sweep engine, built so the
+ * expensive artifacts — lowered prototypes, warm per-session
+ * QorEstimator clones, and the persistent fingerprint-keyed QoR store —
+ * outlive any single request or process.
+ *
+ * Robustness contract (the whole point — pinned by
+ * tests/service_test.cc):
+ *  - Every submitted request receives exactly one terminal
+ *    ServiceResponse, always: completed, partial (deadline/shutdown),
+ *    shed (kOverloaded), rejected (kInvalidRequest/kShutdown) or failed
+ *    (kService fault retries exhausted). No tenant-triggerable
+ *    condition — malformed request, faulting point, dying worker,
+ *    overload burst, corrupt store file — ever aborts the process or
+ *    another tenant's request.
+ *  - Per-request deadlines ride the existing SweepLimits plumbing; the
+ *    wall clock spent queued counts against the deadline.
+ *  - Transient per-point failures (kFaultInjected, kWorkerFailed) get
+ *    bounded retry-with-backoff, re-rolled serially in grid order with
+ *    FaultScope(hash(index, attempt)) — the same deterministic key
+ *    discipline as the sweep engine, so a fault-injected run is
+ *    bit-identical at any thread count. Request-level kService faults
+ *    get the same treatment keyed on the request id.
+ *  - Admission control sheds (or, when configured, degrades to a
+ *    sampled strategy with a smaller budget) once the queue exceeds a
+ *    depth/age bound, so overload answers fast instead of timing out
+ *    everyone.
+ *  - Graceful shutdown: beginShutdown() — or SIGINT/SIGTERM via a
+ *    CancelToken chained to processShutdownToken() — finishes the
+ *    in-flight request early (partial results), answers every queued
+ *    request with kShutdown, and flushes the store.
+ *
+ * Threading model (ROADMAP rules): submit()/wait() are any-thread; one
+ * internal dispatcher thread owns all session state and runs requests
+ * one at a time, each through a StrategyWorkerPool of
+ * ServiceOptions::sweepThreads workers. Warm clones are handed between
+ * pool generations sequentially (pool join happens-before the next
+ * pool's creation), so estimator caches stay warm without sharing.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/driver/driver.h"
+#include "src/dse/qor_store.h"
+#include "src/dse/strategy.h"
+#include "src/dse/sweep.h"
+
+namespace hida {
+
+/**
+ * One tenant request: which prototype (model/batch/dataflow — the
+ * session key), which design space (grid), and how to search it
+ * (strategy options incl. budget). deadlineSeconds covers queue wait
+ * plus sweep time (0 = unbounded).
+ */
+struct ServiceRequest {
+    std::string model = "lenet";  ///< dnnModelNames() entry or "lenet".
+    int64_t batch = 1;            ///< LeNet batch (ignored otherwise).
+    bool dataflow = true;         ///< kHida vs kVitis flow.
+    DesignPointGrid grid;
+    StrategyOptions strategy;
+    double deadlineSeconds = 0.0;
+};
+
+/** Trivially copyable per-point result: the QoR store payload. */
+struct ServicePoint {
+    double util = 0.0;        ///< max resource utilization fraction.
+    double throughput = 0.0;  ///< images/s (batch-adjusted).
+};
+
+/** Terminal state of one request. */
+enum class RequestStatus : uint8_t {
+    kCompleted,  ///< Ran to the strategy's natural end.
+    kPartial,    ///< Stopped early (deadline/shutdown); results valid.
+    kShed,       ///< Admission control refused it (kOverloaded).
+    kRejected,   ///< Never run: kInvalidRequest or kShutdown.
+    kFailed,     ///< Request-level failure (retries exhausted).
+};
+
+/** Stable name of @p status ("completed", "partial", ...). */
+const char* requestStatusName(RequestStatus status);
+
+/**
+ * The exactly-once terminal answer. results/completed are indexed by
+ * grid index (like StrategyOutcome); failures lists the points that
+ * stayed failed after retries, in grid order.
+ */
+struct ServiceResponse {
+    uint64_t id = 0;
+    RequestStatus status = RequestStatus::kFailed;
+    bool degraded = false;  ///< Admitted with a downgraded strategy.
+    Diagnostic diag;        ///< Cause for every non-kCompleted status.
+    std::vector<ServicePoint> results;
+    std::vector<uint8_t> completed;
+    std::vector<PointFailure> failures;
+    /** Sweep workers retired by escaped exceptions (kWorkerFailed). */
+    std::vector<Diagnostic> workerFailures;
+    size_t evaluated = 0;       ///< Points newly evaluated (not store hits).
+    size_t storeHits = 0;       ///< Points served from the QoR store.
+    size_t pointRetries = 0;    ///< Per-point retry attempts spent.
+    size_t requestRetries = 0;  ///< Request-level retry attempts spent.
+    double queueSeconds = 0.0;
+    double runSeconds = 0.0;
+};
+
+/** Service tuning; fromEnv() reads the documented HIDA_SERVICE_* knobs. */
+struct ServiceOptions {
+    /** Worker threads per request sweep (HIDA_SERVICE_WORKERS). */
+    unsigned sweepThreads = 1;
+    /** Admission bound: submit() sheds at this queue depth
+     * (HIDA_SERVICE_QUEUE_DEPTH; 0 = unbounded). */
+    size_t maxQueueDepth = 64;
+    /** Degrade instead of shed from this depth up (0 = never): the
+     * request is admitted with a random strategy and an eighth of its
+     * budget, marked degraded in its response. */
+    size_t degradeQueueDepth = 0;
+    /** Shed a queued request older than this at dequeue (0 = never). */
+    double maxQueueAgeSeconds = 0.0;
+    /** Bounded retries per failed point / failed request
+     * (HIDA_SERVICE_RETRIES). */
+    size_t maxRetries = 2;
+    /** Backoff before retry attempt k: backoffMs * 2^(k-1). Zero keeps
+     * tests instant; determinism never depends on it. */
+    double retryBackoffMs = 0.0;
+    /** QoR store path (HIDA_QOR_STORE; "" = in-memory memo only). */
+    std::string storePath;
+    SweepSchedule schedule;
+    TargetDevice device = TargetDevice::pynqZ2();
+
+    /**
+     * Defaults overridden by HIDA_SERVICE_WORKERS /
+     * HIDA_SERVICE_QUEUE_DEPTH / HIDA_SERVICE_RETRIES / HIDA_QOR_STORE.
+     * Malformed numbers are user errors (exit kFatalExitCode).
+     */
+    static ServiceOptions fromEnv();
+};
+
+/** Monotone service-wide counters (stats()). */
+struct ServiceStats {
+    size_t submitted = 0;
+    size_t answered = 0;  ///< Terminal responses produced.
+    size_t completed = 0;
+    size_t partial = 0;
+    size_t shed = 0;
+    size_t rejected = 0;
+    size_t failed = 0;
+    size_t degraded = 0;
+    size_t pointRetries = 0;
+    size_t requestRetries = 0;
+};
+
+class DseService {
+  public:
+    /** Opens the store and starts the dispatcher thread. A corrupt or
+     * foreign store file is reported and degraded to misses — never an
+     * error. */
+    explicit DseService(ServiceOptions options);
+    /** shutdown()s if the owner has not already. */
+    ~DseService();
+
+    DseService(const DseService&) = delete;
+    DseService& operator=(const DseService&) = delete;
+
+    /**
+     * Admit, degrade, or immediately answer (shed/reject) @p request.
+     * Always returns a request id whose terminal response wait() will
+     * deliver — including for shed and rejected requests, which are
+     * answered synchronously here. Any thread.
+     */
+    uint64_t submit(ServiceRequest request);
+
+    /**
+     * Block until @p id's terminal response and consume it. Exactly one
+     * wait() per submit() (a second call on the same id panics — the
+     * response was already handed out). Any thread.
+     */
+    ServiceResponse wait(uint64_t id);
+
+    /**
+     * Stop admitting, answer every queued request with kShutdown, let
+     * the in-flight request finish early (partial results), flush the
+     * store. Idempotent; also triggered by processShutdownToken()
+     * cancellation (SIGINT/SIGTERM). Responses stay waitable after.
+     */
+    void beginShutdown();
+
+    /** beginShutdown() + join the dispatcher. Idempotent. */
+    void shutdown();
+
+    ServiceStats stats() const;
+    /** Currently queued (admitted, not yet dispatched) requests. */
+    size_t queueDepth() const;
+    QorStore::Stats storeStats() const { return store_.stats(); }
+    /** The service-level cancel token (chained to the process one). */
+    CancelToken& cancelToken() { return cancel_; }
+
+  private:
+    /** Warm per-session state: one lowered prototype plus the idle
+     * clone pool the next request's workers claim from. Dispatcher
+     * thread only, except `idle` (claimed/returned by pool workers
+     * under `mutex`). */
+    struct Session {
+        OwnedModule prototype;
+        FlowOptions partitionOptions;
+        int64_t batch = 1;
+        uint64_t modelHash = 0;  ///< Process-independent store key base.
+        std::optional<Diagnostic> buildDiag;  ///< Prototype rejected.
+        std::mutex mutex;
+        std::vector<std::shared_ptr<CloneSweepWorker>> idle;
+    };
+
+    struct Pending {
+        uint64_t id = 0;
+        ServiceRequest request;
+        bool degraded = false;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatcherMain();
+    void runRequest(Pending pending);
+    Session& sessionFor(const ServiceRequest& request);
+    std::shared_ptr<CloneSweepWorker> claimWorker(Session& session);
+    static void releaseWorker(Session& session,
+                              std::shared_ptr<CloneSweepWorker> worker);
+    Result<ServicePoint> evaluatePoint(Session& session,
+                                       CloneSweepWorker& worker,
+                                       const DesignPointGrid& grid,
+                                       size_t index,
+                                       const std::vector<int64_t>& values);
+    void respond(ServiceResponse response);
+    void respondLocked(ServiceResponse response);
+    void drainQueueLocked();
+
+    ServiceOptions options_;
+    QorStore store_;
+    CancelToken cancel_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_;     ///< Dispatcher wakeups.
+    std::condition_variable responseCv_;  ///< wait() wakeups.
+    std::deque<Pending> queue_;
+    std::unordered_map<uint64_t, ServiceResponse> responses_;
+    std::unordered_map<uint64_t, uint8_t> outstanding_;  ///< Totality check.
+    ServiceStats stats_;
+    uint64_t nextId_ = 1;
+    bool shuttingDown_ = false;
+    bool stop_ = false;
+    bool joined_ = false;
+
+    /** Dispatcher-confined; no lock. */
+    std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace hida
+
+#endif // HIDA_SERVICE_SERVICE_H

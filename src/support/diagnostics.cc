@@ -51,6 +51,20 @@ setDiagnosticThreadTag(std::string tag)
     g_thread_tag = std::move(tag);
 }
 
+const std::string&
+diagnosticThreadTag()
+{
+    return g_thread_tag;
+}
+
+DiagnosticTagScope::DiagnosticTagScope(std::string tag)
+    : prev_(std::move(g_thread_tag))
+{
+    g_thread_tag = std::move(tag);
+}
+
+DiagnosticTagScope::~DiagnosticTagScope() { g_thread_tag = std::move(prev_); }
+
 void
 panicImpl(const char* file, int line, const std::string& msg)
 {
@@ -109,6 +123,14 @@ errorCodeName(ErrorCode code)
         return "fault-injected";
       case ErrorCode::kWorkerFailed:
         return "worker-failed";
+      case ErrorCode::kOverloaded:
+        return "overloaded";
+      case ErrorCode::kStoreCorrupt:
+        return "store-corrupt";
+      case ErrorCode::kShutdown:
+        return "shutdown";
+      case ErrorCode::kInvalidRequest:
+        return "invalid-request";
     }
     return "unknown";
 }

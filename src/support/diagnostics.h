@@ -53,6 +53,29 @@ void inform(const std::string& msg);
  */
 void setDiagnosticThreadTag(std::string tag);
 
+/** This thread's current diagnostic tag ("" when none is set). */
+const std::string& diagnosticThreadTag();
+
+/**
+ * RAII diagnostic tag for one bounded piece of work on a long-lived
+ * thread: installs @p tag for its dynamic extent and restores the
+ * previous tag on destruction. Service worker threads are *reused*
+ * across requests, so a bare setDiagnosticThreadTag at request start
+ * would leak one request's tag into the next tenant's lines — every
+ * request-scoped tag must go through this scope (pinned by
+ * tests/diagnostics_test.cc).
+ */
+class DiagnosticTagScope {
+  public:
+    explicit DiagnosticTagScope(std::string tag);
+    ~DiagnosticTagScope();
+    DiagnosticTagScope(const DiagnosticTagScope&) = delete;
+    DiagnosticTagScope& operator=(const DiagnosticTagScope&) = delete;
+
+  private:
+    std::string prev_;
+};
+
 /** Concatenate all arguments into a std::string via operator<<. */
 template <typename... Args>
 std::string
@@ -93,6 +116,10 @@ enum class ErrorCode : uint16_t {
     kJournalMismatch = 9,    ///< Journal belongs to a different sweep.
     kFaultInjected = 10,     ///< HIDA_FAULT_INJECT forced this failure.
     kWorkerFailed = 11,      ///< Exception escaped a sweep worker boundary.
+    kOverloaded = 12,        ///< Service admission control shed the request.
+    kStoreCorrupt = 13,      ///< QoR store record failed validation.
+    kShutdown = 14,          ///< Service is shutting down; request not run.
+    kInvalidRequest = 15,    ///< Malformed service request (tenant error).
 };
 
 /** Stable name of @p code (e.g. "verify-failed"). */

@@ -45,6 +45,10 @@ siteName(FaultSite site)
         return "pass";
       case FaultSite::kVerifier:
         return "verifier";
+      case FaultSite::kStore:
+        return "store";
+      case FaultSite::kService:
+        return "service";
     }
     return "?";
 }
@@ -70,10 +74,16 @@ parseFaultConfig(const std::string& spec)
         config.siteMask = faultSiteBit(FaultSite::kPass);
     else if (kind == "verifier")
         config.siteMask = faultSiteBit(FaultSite::kVerifier);
+    else if (kind == "store")
+        config.siteMask = faultSiteBit(FaultSite::kStore);
+    else if (kind == "service")
+        config.siteMask = faultSiteBit(FaultSite::kService);
     else if (kind == "any")
         config.siteMask = faultSiteBit(FaultSite::kEstimator) |
                           faultSiteBit(FaultSite::kPass) |
-                          faultSiteBit(FaultSite::kVerifier);
+                          faultSiteBit(FaultSite::kVerifier) |
+                          faultSiteBit(FaultSite::kStore) |
+                          faultSiteBit(FaultSite::kService);
     else
         return std::nullopt;
 

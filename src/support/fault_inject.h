@@ -10,7 +10,8 @@
  *
  * Configuration comes from the HIDA_FAULT_INJECT environment variable
  * ("kind:seed:rate", e.g. "estimator:42:0.01", kind one of
- * estimator|pass|verifier|any) or programmatically via setFaultConfig()
+ * estimator|pass|verifier|store|service|any) or programmatically via
+ * setFaultConfig()
  * in tests. Injection is OFF by default and the disabled fast path is a
  * single relaxed atomic load, so instrumented hot paths stay free.
  *
@@ -35,6 +36,9 @@ enum class FaultSite : uint8_t {
     kEstimator = 0,  ///< QorEstimator::estimateFuncChecked entry.
     kPass = 1,       ///< Pass::runChecked entry.
     kVerifier = 2,   ///< verifyToDiagnostic entry.
+    kStore = 3,      ///< QorStore lookup/insert entry (forces a miss).
+    kService = 4,    ///< Service request execution (forces a retryable
+                     ///  request-level failure).
 };
 
 /** Bit for @p site in FaultConfig::siteMask. */

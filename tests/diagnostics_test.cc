@@ -117,6 +117,11 @@ TEST(DiagnosticsTest, ErrorCodeNamesAreStable)
                  "journal-mismatch");
     EXPECT_STREQ(errorCodeName(ErrorCode::kFaultInjected), "fault-injected");
     EXPECT_STREQ(errorCodeName(ErrorCode::kWorkerFailed), "worker-failed");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kOverloaded), "overloaded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kStoreCorrupt), "store-corrupt");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kShutdown), "shutdown");
+    EXPECT_STREQ(errorCodeName(ErrorCode::kInvalidRequest),
+                 "invalid-request");
 }
 
 //===----------------------------------------------------------------------===//
@@ -177,6 +182,44 @@ TEST(DiagnosticSinkTest, ThreadTagPrefixesLines)
         << captured;
 }
 
+TEST(DiagnosticSinkTest, TagScopeRestoresOnRequestBoundary)
+{
+    // The DSE service runs many tenants' requests on one long-lived
+    // dispatcher thread. A bare setDiagnosticThreadTag would leak one
+    // request's tag into the next tenant's log lines; the RAII scope
+    // pins the reset-on-request-boundary contract.
+    std::thread dispatcher([]() {
+        setDiagnosticThreadTag("svc");
+        EXPECT_EQ(diagnosticThreadTag(), "svc");
+        {
+            DiagnosticTagScope request("req1");
+            EXPECT_EQ(diagnosticThreadTag(), "req1");
+            {
+                DiagnosticTagScope nested("req1/point7");
+                EXPECT_EQ(diagnosticThreadTag(), "req1/point7");
+            }
+            EXPECT_EQ(diagnosticThreadTag(), "req1");
+        }
+        // Request done: the thread is back to its pool-level tag, not
+        // tagless and not stuck on the previous tenant.
+        EXPECT_EQ(diagnosticThreadTag(), "svc");
+
+        ::testing::internal::CaptureStderr();
+        {
+            DiagnosticTagScope request("req2");
+            warn("inside");
+        }
+        warn("outside");
+        std::string captured = ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(captured.find("warn[req2]: inside\n"), std::string::npos)
+            << captured;
+        EXPECT_NE(captured.find("warn[svc]: outside\n"), std::string::npos)
+            << captured;
+        setDiagnosticThreadTag("");
+    });
+    dispatcher.join();
+}
+
 TEST(DiagnosticSinkTest, EmitDiagnosticUsesSink)
 {
     ::testing::internal::CaptureStderr();
@@ -203,11 +246,23 @@ TEST_F(FaultInjectTest, ParsesWellFormedSpecs)
     EXPECT_EQ(config->seed, 42u);
     EXPECT_DOUBLE_EQ(config->rate, 0.01);
 
+    config = parseFaultConfig("store:3:0.5");
+    ASSERT_TRUE(config.has_value());
+    EXPECT_EQ(config->siteMask, faultSiteBit(FaultSite::kStore));
+
+    config = parseFaultConfig("service:4:0.5");
+    ASSERT_TRUE(config.has_value());
+    EXPECT_EQ(config->siteMask, faultSiteBit(FaultSite::kService));
+
+    // "any" covers every instrumented site, including the service-era
+    // store and service sites.
     config = parseFaultConfig("any:7:1");
     ASSERT_TRUE(config.has_value());
     EXPECT_EQ(config->siteMask, faultSiteBit(FaultSite::kEstimator) |
                                     faultSiteBit(FaultSite::kPass) |
-                                    faultSiteBit(FaultSite::kVerifier));
+                                    faultSiteBit(FaultSite::kVerifier) |
+                                    faultSiteBit(FaultSite::kStore) |
+                                    faultSiteBit(FaultSite::kService));
 
     // Rate 0 parses but disables injection (a documented off switch).
     config = parseFaultConfig("pass:1:0");

@@ -677,6 +677,41 @@ TEST(SweepJournalTest, RejectsForeignJournals)
     std::remove(path.c_str());
 }
 
+TEST(SweepJournalTest, StaleTmpFromCrashedFlushIsRemovedOnOpen)
+{
+    std::string path = ::testing::TempDir() + "hida_journal_staletmp.jrnl";
+    std::string tmp = path + ".tmp";
+    std::remove(path.c_str());
+    std::remove(tmp.c_str());
+
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, 5, sizeof(uint64_t)));
+        uint64_t payload = 17;
+        journal.record(0, 0, &payload);
+        journal.flush();
+    }
+    // A crash between the snapshot write and the rename orphans a torn
+    // "<path>.tmp" next to the trusted complete journal.
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << "torn partial snapshot";
+    }
+    {
+        SweepJournal journal;
+        ASSERT_FALSE(journal.open(path, 5, sizeof(uint64_t)));
+        // The main file is the trusted one — fully adopted...
+        EXPECT_EQ(journal.loadStats().restored, 1u);
+        uint64_t payload = 0;
+        EXPECT_TRUE(journal.restore(0, 0, &payload));
+        EXPECT_EQ(payload, 17u);
+        // ...and the orphan is gone instead of accumulating forever.
+        std::ifstream probe(tmp, std::ios::binary);
+        EXPECT_FALSE(probe.good()) << "stale .tmp survived open()";
+    }
+    std::remove(path.c_str());
+}
+
 TEST(SweepJournalTest, CorruptedByteInvalidatesOnlyTheTail)
 {
     std::string path = ::testing::TempDir() + "hida_journal_bitrot.jrnl";
