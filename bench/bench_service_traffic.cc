@@ -1,16 +1,22 @@
 /**
  * @file
  * Synthetic heavy-traffic soak of the DSE service core (src/service/):
- * a closed-loop client fleet drives a deterministic mix of fig1-,
- * fig10- and fig11-shaped requests (exhaustive / random-sampled /
- * evolve searches over LeNet factor grids at several batch sizes and
+ * a closed-loop client fleet drives a deterministic multi-tenant mix of
+ * fig1-, fig10- and fig11-shaped requests (exhaustive / random-sampled
+ * / evolve searches over LeNet factor grids at several batch sizes and
  * both dataflow modes) through one DseService, and the bench reports
- * requests/sec, p99 latency, shed rate and QoR-store hit rate.
+ * requests/sec, end-to-end p99, and the queue-wait vs execution-time
+ * breakdown that makes scheduler changes attributable.
  *
  * This is the robustness proving ground, not a throughput contest:
  *  - Under HIDA_FAULT_INJECT (store/service/any sites included) every
  *    request must still get exactly one terminal response — the bench
  *    exits non-zero if totality is violated.
+ *  - Per-request payloads are digested (in sequence order, independent
+ *    of submission interleaving) into "response_digest": the same
+ *    workload must produce the same digest at any
+ *    HIDA_SERVICE_CONCURRENCY, clean or faulted — scripts/
+ *    service_soak.sh compares digests across concurrency 1/2/4.
  *  - SIGINT/SIGTERM mid-run drains gracefully: in-flight requests
  *    finish early (partial), queued ones are answered kShutdown, the
  *    store is flushed, and the bench exits 128+sig — so a kill/restart
@@ -22,14 +28,17 @@
  *   HIDA_SERVICE_CLIENTS      closed-loop client threads (default 4)
  *   HIDA_SERVICE_DEADLINE_MS  per-request deadline (0 = none)
  *   HIDA_SERVICE_STATS        JSON output path for bench.sh
- *   HIDA_QOR_STORE, HIDA_SERVICE_WORKERS, HIDA_SERVICE_QUEUE_DEPTH,
- *   HIDA_SERVICE_RETRIES      service tuning (ServiceOptions::fromEnv)
+ *   HIDA_QOR_STORE, HIDA_SERVICE_CONCURRENCY, HIDA_SERVICE_WORKERS,
+ *   HIDA_SERVICE_QUEUE_DEPTH, HIDA_SERVICE_RETRIES,
+ *   HIDA_SERVICE_TENANT_WEIGHTS  service tuning (ServiceOptions::fromEnv)
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,6 +48,7 @@
 #include "src/service/service.h"
 #include "src/service/shutdown.h"
 #include "src/support/env.h"
+#include "src/support/utils.h"
 
 using namespace hida;
 
@@ -76,8 +86,12 @@ smallFactorGrid()
 /**
  * The deterministic traffic mix, keyed only on the request sequence
  * number so every run (and a restarted run) resubmits the identical
- * workload — which is what makes the warm-start hit-rate check of
- * scripts/service_soak.sh meaningful.
+ * workload — which is what makes both the warm-start hit-rate check
+ * and the cross-concurrency digest comparison of scripts/
+ * service_soak.sh meaningful. Three tenants round-robin the sequence
+ * (exercising the fair-queue path), and faultKey pins request-level
+ * fault/retry decisions to the sequence number, not to the
+ * timing-dependent submission order.
  */
 ServiceRequest
 shapedRequest(size_t seq, double deadline_seconds)
@@ -88,6 +102,8 @@ shapedRequest(size_t seq, double deadline_seconds)
     request.batch = batches[(seq / 3) % 3];
     request.dataflow = (seq / 9) % 2 == 0;
     request.deadlineSeconds = deadline_seconds;
+    request.tenant = strCat("tenant", seq % 3);
+    request.faultKey = seq + 1;
     switch (seq % 3) {
       case 0:  // fig1-shaped: exhaustive over the reduced space
         request.grid = smallFactorGrid();
@@ -109,6 +125,54 @@ shapedRequest(size_t seq, double deadline_seconds)
     }
     return request;
 }
+
+/** Everything timing-independent about one terminal response, folded
+ * into one hash: status, degraded flag, retry count, result bytes,
+ * completion bitmap and surviving failures. Counters that legitimately
+ * vary with scheduling (storeHits, evaluated, latencies) are excluded
+ * by construction. */
+uint64_t
+responseDigest(const ServiceResponse& response)
+{
+    uint64_t h = hashMix(static_cast<uint64_t>(response.status));
+    h = hashCombine(h, response.degraded ? 1 : 0);
+    h = hashCombine(h, response.requestRetries);
+    for (const ServicePoint& point : response.results) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &point.util, sizeof(bits));
+        h = hashCombine(h, bits);
+        std::memcpy(&bits, &point.throughput, sizeof(bits));
+        h = hashCombine(h, bits);
+    }
+    for (uint8_t done : response.completed)
+        h = hashCombine(h, done);
+    for (const PointFailure& failure : response.failures) {
+        h = hashCombine(h, failure.index);
+        h = hashCombine(h, static_cast<uint64_t>(failure.diag.code));
+    }
+    return h;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[std::min(
+        samples.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(samples.size())))];
+}
+
+/** Per-sequence-slot sample; slots are disjoint across clients, so the
+ * fleet fills them without locking. */
+struct Sample {
+    bool answered = false;
+    double latencySeconds = 0.0;
+    double queueSeconds = 0.0;
+    double runSeconds = 0.0;
+    uint64_t digest = 0;
+};
 
 } // namespace
 
@@ -132,10 +196,10 @@ main()
     DseService service(options);
 
     std::mutex merge_mutex;
-    std::vector<double> latencies;
     size_t completed = 0, partial = 0, shed = 0, rejected = 0, failed = 0,
            degraded = 0, answered = 0;
     size_t store_hits = 0, points_evaluated = 0;
+    std::vector<Sample> samples(requests);
 
     const auto bench_start = std::chrono::steady_clock::now();
     std::vector<std::thread> fleet;
@@ -148,13 +212,17 @@ main()
                 uint64_t id =
                     service.submit(shapedRequest(seq, deadline_seconds));
                 ServiceResponse response = service.wait(id);
-                const double latency =
+                Sample& sample = samples[seq];
+                sample.answered = true;
+                sample.latencySeconds =
                     std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+                sample.queueSeconds = response.queueSeconds;
+                sample.runSeconds = response.runSeconds;
+                sample.digest = responseDigest(response);
                 std::lock_guard<std::mutex> lock(merge_mutex);
                 ++answered;
-                latencies.push_back(latency);
                 store_hits += response.storeHits;
                 points_evaluated += response.evaluated;
                 if (response.degraded)
@@ -198,14 +266,21 @@ main()
         return 1;
     }
 
-    std::sort(latencies.begin(), latencies.end());
-    const double p99 =
-        latencies.empty()
-            ? 0.0
-            : latencies[std::min(latencies.size() - 1,
-                                 static_cast<size_t>(
-                                     0.99 * static_cast<double>(
-                                                latencies.size())))];
+    // Sequence-ordered fold over the per-request digests: identical
+    // workloads must match at any concurrency x workers combination.
+    uint64_t response_digest = hashMix(UINT64_C(0x53564344));  // 'SVCD'
+    std::vector<double> latencies, queue_waits, exec_times;
+    latencies.reserve(requests);
+    for (const Sample& sample : samples) {
+        if (!sample.answered)
+            continue;
+        response_digest = hashCombine(response_digest, sample.digest);
+        latencies.push_back(sample.latencySeconds);
+        queue_waits.push_back(sample.queueSeconds);
+        exec_times.push_back(sample.runSeconds);
+    }
+
+    const double p99 = percentile(latencies, 0.99);
     const QorStore::Stats store = service.storeStats();
     const size_t lookups = store.hits + store.misses;
     const double hit_rate =
@@ -219,16 +294,22 @@ main()
                       : static_cast<double>(shed) /
                             static_cast<double>(requests);
 
-    std::printf("service traffic: %zu requests (%zu clients), "
-                "%.2f req/s, p99 %.3fs\n",
-                requests, clients, rps, p99);
+    std::printf("service traffic: %zu requests (%zu clients, "
+                "concurrency %u), %.2f req/s, p99 %.3fs\n",
+                requests, clients, service.concurrency(), rps, p99);
+    std::printf("  breakdown: queue wait p50 %.4fs / p99 %.4fs, "
+                "exec p50 %.4fs / p99 %.4fs\n",
+                percentile(queue_waits, 0.5), percentile(queue_waits, 0.99),
+                percentile(exec_times, 0.5), percentile(exec_times, 0.99));
     std::printf("  terminal: %zu completed, %zu partial, %zu shed, "
                 "%zu rejected, %zu failed (%zu degraded)\n",
                 completed, partial, shed, rejected, failed, degraded);
     std::printf("  points: %zu evaluated, %zu store hits "
-                "(hit rate %.1f%%), retries %zu point / %zu request\n",
+                "(hit rate %.1f%%), retries %zu point / %zu request, "
+                "%zu requeues\n",
                 points_evaluated, store_hits, hit_rate * 100.0,
-                stats.pointRetries, stats.requestRetries);
+                stats.pointRetries, stats.requestRetries, stats.requeues);
+    std::printf("  response digest: %016" PRIx64 "\n", response_digest);
 
     if (const char* stats_path = std::getenv("HIDA_SERVICE_STATS")) {
         if (*stats_path != '\0') {
@@ -241,8 +322,13 @@ main()
                 "{\n"
                 "  \"requests\": %zu,\n"
                 "  \"clients\": %zu,\n"
+                "  \"concurrency\": %u,\n"
                 "  \"requests_per_sec\": %.3f,\n"
                 "  \"p99_latency_s\": %.4f,\n"
+                "  \"queue_wait_p50_s\": %.4f,\n"
+                "  \"queue_wait_p99_s\": %.4f,\n"
+                "  \"exec_p50_s\": %.4f,\n"
+                "  \"exec_p99_s\": %.4f,\n"
                 "  \"shed_rate\": %.4f,\n"
                 "  \"store_hit_rate\": %.4f,\n"
                 "  \"store_hits\": %zu,\n"
@@ -255,12 +341,21 @@ main()
                 "  \"degraded\": %zu,\n"
                 "  \"point_retries\": %zu,\n"
                 "  \"request_retries\": %zu,\n"
+                "  \"requeues\": %zu,\n"
+                "  \"max_in_flight\": %zu,\n"
+                "  \"service_submitted\": %zu,\n"
+                "  \"service_answered\": %zu,\n"
+                "  \"response_digest\": \"%016" PRIx64 "\",\n"
                 "  \"interrupted\": %s\n"
                 "}\n",
-                requests, clients, rps, p99, shed_rate, hit_rate,
-                store.hits, store.misses, completed, partial, shed,
-                rejected, failed, degraded, stats.pointRetries,
-                stats.requestRetries,
+                requests, clients, service.concurrency(), rps, p99,
+                percentile(queue_waits, 0.5), percentile(queue_waits, 0.99),
+                percentile(exec_times, 0.5), percentile(exec_times, 0.99),
+                shed_rate, hit_rate, store.hits, store.misses, completed,
+                partial, shed, rejected, failed, degraded,
+                stats.pointRetries, stats.requestRetries, stats.requeues,
+                stats.maxInFlight, stats.submitted, stats.answered,
+                response_digest,
                 shutdownSignal() != 0 ? "true" : "false");
             std::fclose(f);
         }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate for the tracked DSE metric.
+# Bench-regression gate for the tracked DSE and service metrics.
 #
 # Compares a freshly produced BENCH_dse.json (scripts/bench.sh output)
 # against a baseline and fails when either
@@ -11,13 +11,23 @@
 #   - output_sha256 drifted (the sweep's Pareto/Table-2 output changed —
 #     a perf "win" that changes results is a correctness bug, not a win).
 #
+# It also gates BENCH_service.json (the DseService traffic bench):
+#   - requests_per_sec must retain (100 - MAX_SLOWDOWN_PCT)% of the
+#     baseline, and
+#   - the totality counters must balance: every submitted request must
+#     have received a terminal response (service_submitted ==
+#     service_answered). A hung or dropped request is a scheduler bug
+#     that a healthy-looking rps number can hide.
+#
 # Usage:
-#   scripts/check_bench_regression.sh [baseline.json] [fresh.json]
+#   scripts/check_bench_regression.sh                      # both gates vs HEAD
+#   scripts/check_bench_regression.sh [baseline] [fresh]   # DSE pair only
 #   scripts/check_bench_regression.sh --self-test
 #
-# Defaults: baseline = BENCH_dse.json as checked in at HEAD (so it works
-# after bench.sh overwrote the working-tree copy), fresh = ./BENCH_dse.json.
-# CI runs this right after scripts/bench.sh; it is equally callable locally.
+# Defaults: baselines = the JSONs as checked in at HEAD (so it works
+# after bench.sh overwrote the working-tree copies), fresh = the
+# working-tree JSONs. CI runs this right after scripts/bench.sh; it is
+# equally callable locally.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -80,6 +90,45 @@ compare() {
     return $status
 }
 
+compare_service() {
+    local baseline="$1" fresh="$2"
+    local status=0
+
+    # Totality first: the fresh run must account for every request it
+    # submitted. Only the fresh file is checked — baselines recorded
+    # before the concurrent scheduler landed lack these counters.
+    local submitted answered
+    submitted=$(json_field "$fresh" service_submitted)
+    answered=$(json_field "$fresh" service_answered)
+    if [[ "$submitted" != "$answered" ]]; then
+        echo "FAIL: service totality broken ($submitted submitted," \
+             "$answered answered): some requests never got a terminal" \
+             "response" >&2
+        status=1
+    fi
+
+    local base_rps fresh_rps
+    base_rps=$(json_field "$baseline" requests_per_sec)
+    fresh_rps=$(json_field "$fresh" requests_per_sec)
+    local ok change
+    ok=$(awk "BEGIN { print ($fresh_rps * 100 >= \
+        $base_rps * (100 - $MAX_SLOWDOWN_PCT)) ? 1 : 0 }")
+    change=$(awk "BEGIN { printf \"%+.1f\", \
+        ($fresh_rps - $base_rps) * 100 / $base_rps }")
+    if [[ "$ok" != 1 ]]; then
+        echo "FAIL: service requests/sec regressed ${change}%" \
+             "($base_rps -> $fresh_rps, gate: -${MAX_SLOWDOWN_PCT}%)" >&2
+        status=1
+    else
+        echo "service requests/sec ${change}% ($base_rps -> $fresh_rps)," \
+             "within the -${MAX_SLOWDOWN_PCT}% gate"
+    fi
+    if [[ $status -eq 0 ]]; then
+        echo "OK: service totality holds, no service perf regression"
+    fi
+    return $status
+}
+
 self_test() {
     local dir pass=0
     dir=$(mktemp -d)
@@ -131,8 +180,36 @@ EOF
         echo "self-test: serial regression should fail" >&2
         pass=1
     fi
+    # Service gate: identical run passes, totality holds.
+    cat > "$dir/svc_base.json" <<'EOF'
+{
+  "requests_per_sec": 1000.0,
+  "service_submitted": 24,
+  "service_answered": 24
+}
+EOF
+    sed 's/1000.0/1010.0/' "$dir/svc_base.json" > "$dir/svc_same.json"
+    compare_service "$dir/svc_base.json" "$dir/svc_same.json" > /dev/null ||
+        { echo "self-test: identical service run should pass" >&2; pass=1; }
+    # A 25% requests/sec drop trips the gate.
+    sed 's/1000.0/750.0/' "$dir/svc_base.json" > "$dir/svc_slow.json"
+    if compare_service "$dir/svc_base.json" "$dir/svc_slow.json" \
+        > /dev/null 2>&1
+    then
+        echo "self-test: 25% service slowdown should fail" >&2
+        pass=1
+    fi
+    # An unanswered request fails even when the run got faster.
+    sed -e 's/1000.0/2000.0/' -e 's/"service_answered": 24/"service_answered": 23/' \
+        "$dir/svc_base.json" > "$dir/svc_hung.json"
+    if compare_service "$dir/svc_base.json" "$dir/svc_hung.json" \
+        > /dev/null 2>&1
+    then
+        echo "self-test: unanswered service request should fail" >&2
+        pass=1
+    fi
     if [[ $pass -eq 0 ]]; then
-        echo "self-test: all 6 gate scenarios behave as expected"
+        echo "self-test: all 9 gate scenarios behave as expected"
     fi
     return $pass
 }
@@ -142,14 +219,22 @@ if [[ "${1:-}" == "--self-test" ]]; then
     exit $?
 fi
 
-FRESH="${2:-$REPO_ROOT/BENCH_dse.json}"
-BASELINE="${1:-}"
-if [[ -z "$BASELINE" ]]; then
-    # Default baseline: the checked-in JSON at HEAD (bench.sh has typically
-    # already overwritten the working-tree copy with the fresh numbers).
-    BASELINE=$(mktemp)
-    trap 'rm -f "$BASELINE"' EXIT
-    git -C "$REPO_ROOT" show HEAD:BENCH_dse.json > "$BASELINE"
+if [[ $# -gt 0 ]]; then
+    # Explicit pair: gate just that DSE baseline/fresh combination.
+    compare "$1" "${2:-$REPO_ROOT/BENCH_dse.json}"
+    exit $?
 fi
 
-compare "$BASELINE" "$FRESH"
+# Default: gate both tracked bench files against the checked-in JSONs at
+# HEAD (bench.sh has typically already overwritten the working-tree
+# copies with the fresh numbers).
+BASE_DSE=$(mktemp)
+BASE_SVC=$(mktemp)
+trap 'rm -f "$BASE_DSE" "$BASE_SVC"' EXIT
+git -C "$REPO_ROOT" show HEAD:BENCH_dse.json > "$BASE_DSE"
+git -C "$REPO_ROOT" show HEAD:BENCH_service.json > "$BASE_SVC"
+
+STATUS=0
+compare "$BASE_DSE" "$REPO_ROOT/BENCH_dse.json" || STATUS=1
+compare_service "$BASE_SVC" "$REPO_ROOT/BENCH_service.json" || STATUS=1
+exit $STATUS

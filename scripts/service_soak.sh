@@ -14,8 +14,16 @@
 #            workload warm: the store hit rate must exceed 50% (phase A
 #            already paid for every point, so a healthy store serves
 #            nearly everything from disk).
+#   Phase D  determinism: the same workload is replayed at request
+#            concurrency 1, 2 and 4 — clean and under fault injection —
+#            and the bench's response_digest (an order-independent fold
+#            of every per-request payload) must be bit-identical across
+#            all three. Scheduling may reorder work; it must never
+#            change an answer.
 #
-# Knobs: HIDA_SERVICE_REQUESTS scales phases A and C (default 24 —
+# Phases A-C run at HIDA_SERVICE_CONCURRENCY (default 4 here so the
+# TSan job races the multi-lane scheduler, not just the sweep shards).
+# Knobs: HIDA_SERVICE_REQUESTS scales phases A, C and D (default 24 —
 # small enough for sanitizer builds); phase B submits 500x that so the
 # SIGTERM is guaranteed to land mid-run — after the signal, the
 # still-unsubmitted tail drains as instant `shutdown` rejections, so a
@@ -31,6 +39,8 @@ BENCH="$BUILD_DIR/bench_service_traffic"
 REQUESTS="${HIDA_SERVICE_REQUESTS:-24}"
 FAULT_REQUESTS="${SOAK_FAULT_REQUESTS:-$((REQUESTS * 500))}"
 KILL_DELAY="${SOAK_KILL_DELAY_S:-2}"
+CONCURRENCY="${HIDA_SERVICE_CONCURRENCY:-4}"
+export HIDA_SERVICE_CONCURRENCY="$CONCURRENCY"
 
 if [[ ! -x "$BENCH" ]]; then
     echo "FAIL: $BENCH not built (cmake --build $BUILD_DIR" \
@@ -43,7 +53,8 @@ STORE="$WORK/qor_store.bin"
 trap 'rm -rf "$WORK"' EXIT
 
 # ---- Phase A: clean traffic, cold store -----------------------------------
-echo "== phase A: clean traffic ($REQUESTS requests, cold store) =="
+echo "== phase A: clean traffic ($REQUESTS requests, cold store," \
+     "concurrency $CONCURRENCY) =="
 HIDA_QOR_STORE="$STORE" HIDA_SERVICE_REQUESTS="$REQUESTS" \
     HIDA_SERVICE_STATS="$WORK/a.json" "$BENCH"
 [[ -s "$STORE" ]] || { echo "FAIL: phase A left no store file" >&2; exit 1; }
@@ -91,4 +102,49 @@ if [[ "$ok" -ne 1 ]]; then
          "not survive the kill/restart cycle" >&2
     exit 1
 fi
-echo "OK: service soak passed (warm-start hit rate $hit_rate)"
+echo "OK: warm-start hit rate $hit_rate"
+
+# ---- Phase D: determinism across concurrency ------------------------------
+echo "== phase D: response determinism across concurrency 1/2/4 =="
+
+# Run the bench workload at a given concurrency (fresh store each run so
+# every leg sees identical conditions) and print its response_digest.
+run_digest() {
+    local conc="$1" fault="$2" tag="$3"
+    local out="$WORK/d_${tag}_c${conc}.json"
+    local -a fault_env=(-u HIDA_FAULT_INJECT)
+    [[ -n "$fault" ]] && fault_env=(HIDA_FAULT_INJECT="$fault")
+    env "${fault_env[@]}" HIDA_SERVICE_CONCURRENCY="$conc" \
+        HIDA_QOR_STORE="$WORK/d_${tag}_c${conc}.store.bin" \
+        HIDA_SERVICE_REQUESTS="$REQUESTS" \
+        HIDA_SERVICE_STATS="$out" "$BENCH" > /dev/null
+    grep -oE '"response_digest": "[0-9a-f]+"' "$out" |
+        grep -oE '[0-9a-f]{16}'
+}
+
+for leg in clean: faulted:any:42:0.05; do
+    tag="${leg%%:*}"
+    fault="${leg#*:}"
+    ref=""
+    for conc in 1 2 4; do
+        digest="$(run_digest "$conc" "$fault" "$tag")"
+        if [[ -z "$digest" ]]; then
+            echo "FAIL: $tag run at concurrency $conc emitted no" \
+                 "response_digest" >&2
+            exit 1
+        fi
+        if [[ -z "$ref" ]]; then
+            ref="$digest"
+        elif [[ "$digest" != "$ref" ]]; then
+            echo "FAIL: $tag response_digest diverged at concurrency" \
+                 "$conc ($ref vs $digest) — scheduling changed an" \
+                 "answer" >&2
+            exit 1
+        fi
+    done
+    echo "OK: $tag responses bit-identical at concurrency 1/2/4" \
+         "(digest $ref)"
+done
+
+echo "OK: service soak passed (warm-start hit rate $hit_rate," \
+     "deterministic across concurrency)"

@@ -153,29 +153,55 @@ QorStore::insert(uint64_t key, const void* payload)
     std::lock_guard<std::mutex> lock(mutex_);
     records_[key].assign(static_cast<const uint8_t*>(payload),
                          static_cast<const uint8_t*>(payload) + payloadSize_);
-    if (++dirtySinceFlush_ >= batchRecords_)
-        flushLocked();
+    // No inline flush: request threads only touch the map; the owner's
+    // housekeeping thread drains the dirty count via maybeFlush().
+    ++dirtySinceFlush_;
+}
+
+bool
+QorStore::needsFlush() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !path_.empty() && dirtySinceFlush_ >= batchRecords_;
+}
+
+void
+QorStore::maybeFlush()
+{
+    if (needsFlush())
+        flush();
 }
 
 void
 QorStore::flush()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (dirtySinceFlush_ > 0)
-        flushLocked();
-}
+    // One snapshot writer at a time; concurrent flush() calls queue
+    // here instead of racing on the .tmp file.
+    std::lock_guard<std::mutex> flush_lock(flushMutex_);
 
-void
-QorStore::flushLocked()
-{
-    if (path_.empty())
-        return;
+    // Copy the records under the map lock, write outside it: lookups
+    // and inserts from request threads proceed during the disk I/O.
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (path_.empty() || dirtySinceFlush_ == 0)
+            return;
+        snapshot.assign(records_.begin(), records_.end());
+        // Inserts landing after this copy re-raise the count and reach
+        // disk on the next flush.
+        dirtySinceFlush_ = 0;
+    }
+
     // Whole-file snapshot + atomic rename, records in key order so the
     // same contents always produce the same bytes on disk.
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     std::string tmp = path_ + ".tmp";
     std::FILE* file = std::fopen(tmp.c_str(), "wb");
     if (file == nullptr) {
         warn(strCat("qor store: cannot write '", tmp, "'"));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++dirtySinceFlush_;  // retry on a later flush
         return;
     }
     Header header;
@@ -185,13 +211,7 @@ QorStore::flushLocked()
     header.contentTag = contentTag_;
     bool ok = std::fwrite(&header, sizeof(header), 1, file) == 1;
 
-    std::vector<uint64_t> keys;
-    keys.reserve(records_.size());
-    for (const auto& [key, payload] : records_)
-        keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    for (uint64_t key : keys) {
-        const std::vector<uint8_t>& payload = records_[key];
+    for (const auto& [key, payload] : snapshot) {
         uint64_t checksum = recordChecksum(key, payload.data(), payloadSize_);
         ok = ok && std::fwrite(&key, sizeof(key), 1, file) == 1 &&
              std::fwrite(payload.data(), 1, payloadSize_, file) ==
@@ -202,9 +222,9 @@ QorStore::flushLocked()
     if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0) {
         warn(strCat("qor store: flush to '", path_, "' failed"));
         std::remove(tmp.c_str());
-        return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++dirtySinceFlush_;  // retry on a later flush
     }
-    dirtySinceFlush_ = 0;
 }
 
 } // namespace hida

@@ -33,9 +33,17 @@
  * forced to miss, exercising the recompute path without changing
  * results.
  *
- * Thread safety: all methods after open() are serialized by one
- * internal mutex — service worker pools share a store by design.
- * open() itself is driver-thread only, like SweepJournal::open().
+ * Thread safety: all methods after open() are safe to call from any
+ * thread — service worker pools and concurrent requests share a store
+ * by design. The record map is serialized by one internal mutex;
+ * flush() snapshots the records under that mutex but performs the file
+ * I/O *outside* it (a second flush mutex serializes writers), so
+ * lookups and inserts from request threads never stall behind disk.
+ * insert() itself never flushes: it only accrues the dirty count, and
+ * the owner drains it off the hot path — the DSE service's
+ * housekeeping thread calls maybeFlush() on its tick, so batched
+ * snapshots happen off the request threads entirely. open() itself is
+ * driver-thread only, like SweepJournal::open().
  */
 
 #include <cstddef>
@@ -72,9 +80,10 @@ class QorStore {
      * whatever a previous process left there. Returns a *recoverable*
      * kStoreCorrupt Diagnostic when the file was foreign or had corrupt
      * records — the store is usable either way (bad bytes become
-     * misses; the next flush rewrites a clean snapshot). Inserts are
-     * batched: every @p batch_records new records trigger a snapshot
-     * flush. An empty @p path leaves the store disk-less (pure in-memory
+     * misses; the next flush rewrites a clean snapshot). @p
+     * batch_records is the flush batching grain: needsFlush() turns
+     * true once that many records accumulated since the last snapshot.
+     * An empty @p path leaves the store disk-less (pure in-memory
      * memo; every method still works).
      *
      * Driver-thread only, before workers share the store.
@@ -98,16 +107,28 @@ class QorStore {
      */
     bool lookup(uint64_t key, void* out);
 
-    /** Memoize one computed payload; flushes every batch_records. */
+    /** Memoize one computed payload. Never performs I/O — the dirty
+     * count accrues until some thread drains it via maybeFlush() /
+     * flush(), so request threads pay a map insert and nothing else. */
     void insert(uint64_t key, const void* payload);
 
-    /** Snapshot all records to disk (write temp + rename). */
+    /** True once batch_records inserts accumulated since the last
+     * snapshot — the housekeeping thread's cheap flush poll. */
+    bool needsFlush() const;
+
+    /** flush() iff needsFlush(). */
+    void maybeFlush();
+
+    /** Snapshot all records to disk (write temp + rename). The records
+     * map is only locked while copying the snapshot; the file write
+     * happens outside it, serialized against other flushers. */
     void flush();
 
   private:
-    void flushLocked();
-
     mutable std::mutex mutex_;
+    /** Serializes snapshot writers; never held together with mutex_
+     * except briefly inside flush() (flushMutex_ -> mutex_ order). */
+    std::mutex flushMutex_;
     std::string path_;
     uint64_t contentTag_ = 0;
     size_t payloadSize_ = 0;

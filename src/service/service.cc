@@ -42,6 +42,14 @@ serviceModelHash(const ServiceRequest& request)
     return hashCombine(h, request.dataflow ? 1 : 0);
 }
 
+/** Warm-session pool key: the coordinates that select the prototype. */
+std::string
+sessionKey(const ServiceRequest& request)
+{
+    return strCat(request.model, "|b", request.batch,
+                  request.dataflow ? "|df" : "|nodf");
+}
+
 bool
 knownServiceModel(const std::string& model)
 {
@@ -71,17 +79,63 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Exponential backoff before retry @p attempt (1-based); a zero base
- * keeps tests instant. Timing never feeds any retry *decision*. */
+/** Exponential backoff before retry @p attempt (1-based): base *
+ * 2^(attempt-1) ms. Timing never feeds any retry *decision*. */
+double
+backoffMs(double base_ms, size_t attempt)
+{
+    const unsigned shift = attempt > 16 ? 16 : static_cast<unsigned>(attempt);
+    return base_ms * static_cast<double>(1u << (shift - 1));
+}
+
+/** Point-level backoff: sleeps only the executor lane that owns the
+ * retrying request, never a scheduler thread. A zero base keeps tests
+ * instant. (Request-level backoff is a timed requeue instead — see
+ * runRequest.) */
 void
 backoffSleep(double base_ms, size_t attempt)
 {
     if (base_ms <= 0.0)
         return;
-    const unsigned shift = attempt > 16 ? 16 : static_cast<unsigned>(attempt);
-    const double ms = base_ms * static_cast<double>(1u << (shift - 1));
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(ms));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        backoffMs(base_ms, attempt)));
+}
+
+/** Parse HIDA_SERVICE_TENANT_WEIGHTS ("name=w,name=w"). Malformed
+ * entries are user errors (exit kFatalExitCode), consistent with the
+ * numeric knob parsers in src/support/env.h. */
+std::map<std::string, uint64_t>
+parseTenantWeights(const char* text)
+{
+    std::map<std::string, uint64_t> weights;
+    const std::string raw = text;
+    size_t pos = 0;
+    while (pos < raw.size()) {
+        size_t end = raw.find(',', pos);
+        if (end == std::string::npos)
+            end = raw.size();
+        const std::string entry = raw.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        const size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size())
+            HIDA_FATAL("HIDA_SERVICE_TENANT_WEIGHTS entry '", entry,
+                       "' is not name=weight");
+        uint64_t weight = 0;
+        for (size_t i = eq + 1; i < entry.size(); ++i) {
+            const char c = entry[i];
+            if (c < '0' || c > '9')
+                HIDA_FATAL("HIDA_SERVICE_TENANT_WEIGHTS entry '", entry,
+                           "' has a non-numeric weight");
+            weight = weight * 10 + static_cast<uint64_t>(c - '0');
+        }
+        if (weight == 0)
+            HIDA_FATAL("HIDA_SERVICE_TENANT_WEIGHTS entry '", entry,
+                       "' has weight 0 (must be >= 1)");
+        weights[entry.substr(0, eq)] = weight;
+    }
+    return weights;
 }
 
 } // namespace
@@ -108,26 +162,64 @@ ServiceOptions
 ServiceOptions::fromEnv()
 {
     ServiceOptions options;
+    options.concurrency =
+        static_cast<unsigned>(envUint("HIDA_SERVICE_CONCURRENCY", 0));
     options.sweepThreads = static_cast<unsigned>(
         envUint("HIDA_SERVICE_WORKERS", dseThreadCount()));
     options.maxQueueDepth = envUint("HIDA_SERVICE_QUEUE_DEPTH", 64);
     options.maxRetries = envUint("HIDA_SERVICE_RETRIES", 2);
+    if (const char* weights = std::getenv("HIDA_SERVICE_TENANT_WEIGHTS"))
+        options.tenantWeights = parseTenantWeights(weights);
     if (const char* store = std::getenv("HIDA_QOR_STORE"))
         options.storePath = store;
     options.schedule = sweepScheduleFromEnv();
     return options;
 }
 
+/** Exclusive lease of a Session for one in-flight request: checked out
+ * of the warm pool (or freshly built) on construction, returned on
+ * destruction through every exit path of runRequest. */
+class DseService::SessionLease {
+  public:
+    SessionLease(DseService& service, const ServiceRequest& request)
+        : service_(service), key_(sessionKey(request)),
+          session_(service.acquireSession(request))
+    {
+    }
+
+    ~SessionLease() { service_.releaseSession(key_, std::move(session_)); }
+
+    SessionLease(const SessionLease&) = delete;
+    SessionLease& operator=(const SessionLease&) = delete;
+
+    Session& operator*() { return *session_; }
+    Session* operator->() { return session_.get(); }
+
+  private:
+    DseService& service_;
+    std::string key_;
+    std::unique_ptr<Session> session_;
+};
+
 DseService::DseService(ServiceOptions options) : options_(std::move(options))
 {
     // One SIGINT/SIGTERM (shutdown.h) cancels every request-observing
     // loop of this service through the chain.
     cancel_.chain(&processShutdownToken());
+    if (options_.concurrency == 0)
+        options_.concurrency = std::min(4u, dseHardwareConcurrency());
+    if (options_.concurrency == 0)
+        options_.concurrency = 1;
+    for (const auto& [tenant, weight] : options_.tenantWeights)
+        queue_.setWeight(tenant, weight);
     if (auto diag =
             store_.open(options_.storePath, serviceStoreTag(),
                         sizeof(ServicePoint)))
         emitDiagnostic(*diag);  // degraded to misses, never an error
-    dispatcher_ = std::thread([this] { dispatcherMain(); });
+    executors_.reserve(options_.concurrency);
+    for (unsigned lane = 0; lane < options_.concurrency; ++lane)
+        executors_.emplace_back([this, lane] { executorMain(lane); });
+    housekeeper_ = std::thread([this] { housekeepingMain(); });
 }
 
 DseService::~DseService() { shutdown(); }
@@ -173,19 +265,20 @@ DseService::submit(ServiceRequest request)
                             ErrorCode::kInvalidRequest,
                             "negative deadline");
 
-    // Admission control: shed at the hard depth bound; optionally
-    // degrade (sampled strategy, 1/8 budget) from the soft bound up, so
-    // an overload burst answers fast-and-cheap instead of rejecting.
-    if (options_.maxQueueDepth > 0 &&
-        queue_.size() >= options_.maxQueueDepth)
+    // Admission control on *fresh* (never-started) requests: shed at
+    // the hard depth bound; optionally degrade (sampled strategy, 1/8
+    // budget) from the soft bound up, so an overload burst answers
+    // fast-and-cheap instead of rejecting. Backoff requeues are already
+    // admitted work and never count against the bound.
+    if (options_.maxQueueDepth > 0 && freshQueued_ >= options_.maxQueueDepth)
         return answerLocked(
             RequestStatus::kShed, ErrorCode::kOverloaded,
-            strCat("queue depth ", queue_.size(), " at bound ",
+            strCat("queue depth ", freshQueued_, " at bound ",
                    options_.maxQueueDepth, "; request shed"));
     Pending pending;
     pending.id = id;
     if (options_.degradeQueueDepth > 0 &&
-        queue_.size() >= options_.degradeQueueDepth) {
+        freshQueued_ >= options_.degradeQueueDepth) {
         const size_t budget =
             request.strategy.budget != 0
                 ? request.strategy.budget
@@ -196,7 +289,9 @@ DseService::submit(ServiceRequest request)
     }
     pending.request = std::move(request);
     pending.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(pending));
+    const std::string tenant = pending.request.tenant;
+    queue_.push(tenant, std::move(pending));
+    ++freshQueued_;
     queueCv_.notify_one();
     return id;
 }
@@ -221,9 +316,10 @@ DseService::beginShutdown()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         shuttingDown_ = true;
-        drainQueueLocked();
+        drainFreshLocked();
     }
     queueCv_.notify_all();
+    houseCv_.notify_all();
 }
 
 void
@@ -235,8 +331,12 @@ DseService::shutdown()
         stop_ = true;
     }
     queueCv_.notify_all();
-    if (dispatcher_.joinable())
-        dispatcher_.join();
+    houseCv_.notify_all();
+    for (std::thread& executor : executors_)
+        if (executor.joinable())
+            executor.join();
+    if (housekeeper_.joinable())
+        housekeeper_.join();
     store_.flush();
 }
 
@@ -251,7 +351,14 @@ size_t
 DseService::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return freshQueued_;
+}
+
+uint64_t
+DseService::tenantWeight(const std::string& tenant) const
+{
+    auto it = options_.tenantWeights.find(tenant);
+    return it == options_.tenantWeights.end() ? 1 : it->second;
 }
 
 void
@@ -297,27 +404,68 @@ DseService::respondLocked(ServiceResponse response)
 }
 
 void
-DseService::drainQueueLocked()
+DseService::drainFreshLocked()
 {
-    while (!queue_.empty()) {
-        Pending pending = std::move(queue_.front());
-        queue_.pop_front();
-        ServiceResponse response;
-        response.id = pending.id;
-        response.degraded = pending.degraded;
-        response.status = RequestStatus::kRejected;
-        response.diag =
-            Diagnostic(ErrorCode::kShutdown,
-                       "service shutting down; request not run", "service");
-        response.queueSeconds = secondsSince(pending.enqueued);
-        respondLocked(std::move(response));
+    // Only never-started requests are answered with kShutdown; backoff
+    // requeues stay — they already ran, so the executors finish their
+    // remaining retry schedule inline (pickRequeuedLocked).
+    queue_.drainIf(
+        [](const Pending& pending) { return pending.requestAttempt == 0; },
+        [&](Pending pending) {
+            --freshQueued_;
+            ServiceResponse response;
+            response.id = pending.id;
+            response.degraded = pending.degraded;
+            response.status = RequestStatus::kRejected;
+            response.diag = Diagnostic(
+                ErrorCode::kShutdown,
+                "service shutting down; request not run", "service");
+            response.queueSeconds = secondsSince(pending.enqueued);
+            respondLocked(std::move(response));
+        });
+}
+
+bool
+DseService::pickRequeuedLocked(Pending* out)
+{
+    // Shutdown path: whatever drainFreshLocked left in the fair queue
+    // is a promoted requeue; the delayed list is taken eagerly,
+    // ignoring notBefore — skipped backoff shapes timing, never any
+    // retry decision.
+    if (queue_.pop(out))
+        return true;
+    if (delayed_.empty())
+        return false;
+    *out = std::move(delayed_.back());
+    delayed_.pop_back();
+    return true;
+}
+
+bool
+DseService::promoteDueLocked(std::chrono::steady_clock::time_point now)
+{
+    bool any = false;
+    for (size_t i = 0; i < delayed_.size();) {
+        if (delayed_[i].notBefore > now) {
+            ++i;
+            continue;
+        }
+        Pending pending = std::move(delayed_[i]);
+        delayed_[i] = std::move(delayed_.back());
+        delayed_.pop_back();
+        const std::string tenant = pending.request.tenant;
+        // Front, not back: the requeue was admitted before anything now
+        // queued behind it.
+        queue_.pushFront(tenant, std::move(pending));
+        any = true;
     }
+    return any;
 }
 
 void
-DseService::dispatcherMain()
+DseService::executorMain(unsigned lane)
 {
-    setDiagnosticThreadTag("svc");
+    setDiagnosticThreadTag(strCat("svc", lane));
     for (;;) {
         Pending pending;
         bool have = false;
@@ -332,53 +480,97 @@ DseService::dispatcherMain()
             if (cancel_.cancelled())
                 shuttingDown_ = true;
             if (shuttingDown_ || stop_) {
-                drainQueueLocked();
-                break;
-            }
-            if (!queue_.empty()) {
-                pending = std::move(queue_.front());
-                queue_.pop_front();
+                drainFreshLocked();
+                if (!pickRequeuedLocked(&pending))
+                    break;
                 have = true;
+            } else if (queue_.pop(&pending)) {
+                have = true;
+                if (pending.requestAttempt == 0)
+                    --freshQueued_;
+            }
+            if (have) {
+                ++inFlight_;
+                stats_.maxInFlight =
+                    std::max(stats_.maxInFlight, inFlight_);
             }
         }
         if (!have)
             continue;
-        // Age-based shedding at dequeue: a request that already waited
-        // past the bound would only add to the backlog it suffered from.
-        const double age = secondsSince(pending.enqueued);
-        if (options_.maxQueueAgeSeconds > 0.0 &&
-            age > options_.maxQueueAgeSeconds) {
-            ServiceResponse response;
-            response.id = pending.id;
-            response.degraded = pending.degraded;
-            response.status = RequestStatus::kShed;
-            response.queueSeconds = age;
-            response.diag = Diagnostic(
-                ErrorCode::kOverloaded,
-                strCat("request waited ", age, "s (bound ",
-                       options_.maxQueueAgeSeconds, "s); request shed"),
-                "service");
-            respond(std::move(response));
-            continue;
-        }
         runRequest(std::move(pending));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
     }
-    store_.flush();
     setDiagnosticThreadTag("");
 }
 
-DseService::Session&
-DseService::sessionFor(const ServiceRequest& request)
+void
+DseService::housekeepingMain()
 {
-    std::string key = strCat(request.model, "|b", request.batch,
-                             request.dataflow ? "|df" : "|nodf");
-    auto it = sessions_.find(key);
-    if (it != sessions_.end())
-        return *it->second;
+    setDiagnosticThreadTag("svchk");
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        // Wake at the earliest pending backoff deadline, or on the
+        // 50ms store-flush tick.
+        auto wake =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+        for (const Pending& pending : delayed_)
+            wake = std::min(wake, pending.notBefore);
+        houseCv_.wait_until(lock, wake, [&] { return stop_; });
+        if (stop_)
+            break;
+        if (promoteDueLocked(std::chrono::steady_clock::now()))
+            queueCv_.notify_all();
+        if (store_.needsFlush()) {
+            // Snapshot I/O outside the scheduler lock: submits and
+            // executors proceed while records hit disk.
+            lock.unlock();
+            store_.maybeFlush();
+            lock.lock();
+        }
+    }
+    lock.unlock();
+    setDiagnosticThreadTag("");
+}
 
-    // First request on this key: build + lower the prototype once. This
-    // is the expensive artifact — every later request reuses it (and
-    // the warm clones its sweeps leave in `idle`).
+std::unique_ptr<DseService::Session>
+DseService::acquireSession(const ServiceRequest& request)
+{
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        auto it = warmSessions_.find(sessionKey(request));
+        if (it != warmSessions_.end() && !it->second.empty()) {
+            std::unique_ptr<Session> session = std::move(it->second.back());
+            it->second.pop_back();
+            return session;
+        }
+    }
+    // Pool empty (first request on this key, or every warm instance is
+    // leased by a concurrent request): build a fresh independent
+    // Session *outside* the pool lock, so concurrent builds — even of
+    // the same model — proceed in parallel and never share IR.
+    return buildSession(request);
+}
+
+void
+DseService::releaseSession(const std::string& key,
+                           std::unique_ptr<Session> session)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    std::vector<std::unique_ptr<Session>>& pool = warmSessions_[key];
+    // At most one warm instance per executor lane can ever be useful.
+    if (pool.size() < options_.concurrency)
+        pool.push_back(std::move(session));
+}
+
+std::unique_ptr<DseService::Session>
+DseService::buildSession(const ServiceRequest& request)
+{
+    // The expensive artifact: build + lower the prototype once; every
+    // later request leasing this instance reuses it (and the warm
+    // clones its sweeps leave in `idle`).
     auto session = std::make_unique<Session>();
     session->batch = request.batch;
     session->modelHash = serviceModelHash(request);
@@ -395,10 +587,7 @@ DseService::sessionFor(const ServiceRequest& request)
     session->prototype = std::move(module);
     session->partitionOptions = options;
     session->partitionOptions.enableParallelization = true;
-
-    Session& ref = *session;
-    sessions_.emplace(std::move(key), std::move(session));
-    return ref;
+    return session;
 }
 
 std::shared_ptr<CloneSweepWorker>
@@ -460,14 +649,37 @@ DseService::runRequest(Pending pending)
     ServiceResponse response;
     response.id = pending.id;
     response.degraded = pending.degraded;
-    response.queueSeconds = secondsSince(pending.enqueued);
+    // Queue wait is measured once, at first dispatch; a backoff requeue
+    // keeps the original figure (its delay is run time the request
+    // earned itself, not scheduler backlog).
+    if (pending.queueSeconds < 0.0)
+        pending.queueSeconds = secondsSince(pending.enqueued);
+    response.queueSeconds = pending.queueSeconds;
+    response.requestRetries = pending.requestRetries;
+
+    // Age-based shedding at first dispatch: a request that already
+    // waited past the bound would only add to the backlog it suffered
+    // from. Requeues are exempt — they were admitted in time.
+    if (pending.requestAttempt == 0 && options_.maxQueueAgeSeconds > 0.0 &&
+        pending.queueSeconds > options_.maxQueueAgeSeconds) {
+        response.status = RequestStatus::kShed;
+        response.diag = Diagnostic(
+            ErrorCode::kOverloaded,
+            strCat("request waited ", pending.queueSeconds, "s (bound ",
+                   options_.maxQueueAgeSeconds, "s); request shed"),
+            "service");
+        respond(std::move(response));
+        return;
+    }
 
     const bool has_deadline = pending.request.deadlineSeconds > 0.0;
     double remaining = 0.0;
     if (has_deadline) {
-        // Queue wait counts against the tenant's deadline: a request
-        // that waited it out is answered now, not after a futile sweep.
-        remaining = pending.request.deadlineSeconds - response.queueSeconds;
+        // Queue wait — and any backoff delay a requeue spent — counts
+        // against the tenant's deadline: a request that waited it out
+        // is answered now, not after a futile sweep.
+        remaining = pending.request.deadlineSeconds -
+                    secondsSince(pending.enqueued);
         if (remaining <= 0.0) {
             response.status = RequestStatus::kPartial;
             response.diag =
@@ -480,11 +692,17 @@ DseService::runRequest(Pending pending)
 
     // Request-level fault site, with the same bounded deterministic
     // retry discipline as failed points: attempt k re-rolls under key
-    // hash(id, k), so the schedule is identical at any thread count.
-    for (size_t attempt = 0;; ++attempt) {
+    // hash(faultKey, k), so the schedule is identical at any
+    // concurrency. Backoff between attempts is a *timed requeue*: this
+    // executor lane moves on to other requests and the housekeeper
+    // re-admits the request at its tenant's queue front once the delay
+    // elapses — one backing-off request never stalls the pipeline.
+    const uint64_t fault_key =
+        pending.request.faultKey != 0 ? pending.request.faultKey : pending.id;
+    for (size_t attempt = pending.requestAttempt;; ++attempt) {
         FaultScope scope(attempt == 0
-                             ? pending.id
-                             : hashCombine(hashMix(pending.id), attempt));
+                             ? fault_key
+                             : hashCombine(hashMix(fault_key), attempt));
         auto injected = maybeInjectFault(
             FaultSite::kService, strCat("request #", pending.id));
         if (!injected)
@@ -496,13 +714,44 @@ DseService::runRequest(Pending pending)
             return;
         }
         ++response.requestRetries;
-        backoffSleep(options_.retryBackoffMs, attempt + 1);
+        if (options_.retryBackoffMs > 0.0) {
+            bool requeued = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                // Under shutdown the remaining schedule runs inline
+                // with no delay instead (decisions never depend on it).
+                if (!shuttingDown_ && !stop_) {
+                    Pending again;
+                    again.id = pending.id;
+                    again.request = std::move(pending.request);
+                    again.degraded = pending.degraded;
+                    again.enqueued = pending.enqueued;
+                    again.requestAttempt = attempt + 1;
+                    again.requestRetries = response.requestRetries;
+                    again.queueSeconds = pending.queueSeconds;
+                    again.notBefore =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(
+                                backoffMs(options_.retryBackoffMs,
+                                          attempt + 1)));
+                    delayed_.push_back(std::move(again));
+                    ++stats_.requeues;
+                    requeued = true;
+                }
+            }
+            if (requeued) {
+                houseCv_.notify_one();
+                return;  // no terminal response yet: the requeue owns it
+            }
+        }
     }
 
-    Session& session = sessionFor(pending.request);
-    if (session.buildDiag) {
+    SessionLease session(*this, pending.request);
+    if (session->buildDiag) {
         response.status = RequestStatus::kFailed;
-        response.diag = *session.buildDiag;
+        response.diag = *session->buildDiag;
         respond(std::move(response));
         return;
     }
@@ -516,18 +765,18 @@ DseService::runRequest(Pending pending)
     const QorStore::Stats store_before = store_.stats();
     std::function<ResilientWorker<ServicePoint>()> factory =
         [this, &session, &grid]() {
-            std::shared_ptr<CloneSweepWorker> w = claimWorker(session);
+            std::shared_ptr<CloneSweepWorker> w = claimWorker(*session);
             ResilientWorker<ServicePoint> worker;
             worker.evaluate =
                 [this, &session, &grid, w](
                     size_t index,
                     const std::vector<int64_t>& values)
                 -> Result<ServicePoint> {
-                return evaluatePoint(session, *w, grid, index, values);
+                return evaluatePoint(*session, *w, grid, index, values);
             };
             worker.recover = [w]() { w->rebuild(); };
             worker.cacheStats = [w]() { return w->estimator.cacheStats(); };
-            worker.retire = [&session, w]() { releaseWorker(session, w); };
+            worker.retire = [&session, w]() { releaseWorker(*session, w); };
             return worker;
         };
 
@@ -580,7 +829,7 @@ DseService::runRequest(Pending pending)
                     continue;
                 }
                 if (!retry_worker)
-                    retry_worker = claimWorker(session);
+                    retry_worker = claimWorker(*session);
                 grid.decode(failure.index, values);
                 FaultScope scope(
                     hashCombine(hashMix(failure.index), attempt));
@@ -588,7 +837,7 @@ DseService::runRequest(Pending pending)
                 Result<ServicePoint> result =
                     [&]() -> Result<ServicePoint> {
                     try {
-                        return evaluatePoint(session, *retry_worker, grid,
+                        return evaluatePoint(*session, *retry_worker, grid,
                                              failure.index, values);
                     } catch (const std::exception& e) {
                         return Diagnostic(
@@ -615,7 +864,7 @@ DseService::runRequest(Pending pending)
             response.failures = std::move(still);
         }
         if (retry_worker)
-            releaseWorker(session, std::move(retry_worker));
+            releaseWorker(*session, std::move(retry_worker));
     }
 
     response.storeHits = store_.stats().hits - store_before.hits;

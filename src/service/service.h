@@ -4,8 +4,8 @@
 /**
  * @file
  * Long-lived, multi-tenant DSE service core (docs/service.md): a
- * request queue in front of the resilient sweep engine, built so the
- * expensive artifacts — lowered prototypes, warm per-session
+ * fair-queued scheduler in front of the resilient sweep engine, built
+ * so the expensive artifacts — lowered prototypes, warm per-session
  * QorEstimator clones, and the persistent fingerprint-keyed QoR store —
  * outlive any single request or process.
  *
@@ -25,30 +25,47 @@
  *    FaultScope(hash(index, attempt)) — the same deterministic key
  *    discipline as the sweep engine, so a fault-injected run is
  *    bit-identical at any thread count. Request-level kService faults
- *    get the same treatment keyed on the request id.
+ *    get the same treatment keyed on the request id (or the caller's
+ *    faultKey); their backoff is a *timed requeue*, never a sleep on an
+ *    executor, so one backing-off request cannot stall the pipeline.
  *  - Admission control sheds (or, when configured, degrades to a
  *    sampled strategy with a smaller budget) once the queue exceeds a
  *    depth/age bound, so overload answers fast instead of timing out
  *    everyone.
  *  - Graceful shutdown: beginShutdown() — or SIGINT/SIGTERM via a
- *    CancelToken chained to processShutdownToken() — finishes the
- *    in-flight request early (partial results), answers every queued
- *    request with kShutdown, and flushes the store.
+ *    CancelToken chained to processShutdownToken() — finishes in-flight
+ *    requests early (partial results), answers every queued request
+ *    with kShutdown, runs backing-off requests' remaining retry
+ *    schedule immediately (backoff shapes timing, never decisions), and
+ *    flushes the store.
  *
- * Threading model (ROADMAP rules): submit()/wait() are any-thread; one
- * internal dispatcher thread owns all session state and runs requests
- * one at a time, each through a StrategyWorkerPool of
- * ServiceOptions::sweepThreads workers. Warm clones are handed between
- * pool generations sequentially (pool join happens-before the next
- * pool's creation), so estimator caches stay warm without sharing.
+ * Threading model (ROADMAP rules): submit()/wait() are any-thread.
+ * ServiceOptions::concurrency executor threads each run one request at
+ * a time end to end, drawn from per-tenant FIFOs under deficit-weighted
+ * fair queuing (src/service/fair_queue.h) so one chatty tenant cannot
+ * starve the rest. Each in-flight request exclusively leases a Session
+ * — prototype plus warm clone pool — from a per-model warm-session
+ * pool; two concurrent requests on the same model get *independent*
+ * Session instances, so no IR is ever shared across requests. Within a
+ * request, the sweep runs through a StrategyWorkerPool of
+ * ServiceOptions::sweepThreads workers claiming clones from the leased
+ * session only (pool join happens-before the lease is returned, so
+ * estimator caches stay warm without cross-request sharing). A
+ * housekeeping thread promotes elapsed backoff requeues and batches
+ * QoR-store snapshots to disk off the request threads. Results are
+ * bit-identical at any concurrency x sweepThreads combination: every
+ * retry/fault/backoff decision keys on (point or request, attempt),
+ * never on timing or executor placement.
  */
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -58,6 +75,7 @@
 #include "src/dse/qor_store.h"
 #include "src/dse/strategy.h"
 #include "src/dse/sweep.h"
+#include "src/service/fair_queue.h"
 
 namespace hida {
 
@@ -74,6 +92,15 @@ struct ServiceRequest {
     DesignPointGrid grid;
     StrategyOptions strategy;
     double deadlineSeconds = 0.0;
+    /** Fair-queuing lane ("" = the shared default tenant). Dispatch
+     * slots are granted per tenant under deficit round robin with the
+     * weights in ServiceOptions::tenantWeights. */
+    std::string tenant;
+    /** Deterministic key for request-level fault/retry decisions; 0
+     * (default) uses the request id. Benches set it to their workload
+     * sequence number so per-request payloads are reproducible even
+     * when concurrent clients race on submission order. */
+    uint64_t faultKey = 0;
 };
 
 /** Trivially copyable per-point result: the QoR store payload. */
@@ -113,16 +140,26 @@ struct ServiceResponse {
     size_t storeHits = 0;       ///< Points served from the QoR store.
     size_t pointRetries = 0;    ///< Per-point retry attempts spent.
     size_t requestRetries = 0;  ///< Request-level retry attempts spent.
+    /** Wall clock from submit to first dispatch (queue wait only;
+     * backoff requeue delay counts as run time, not queue wait). */
     double queueSeconds = 0.0;
     double runSeconds = 0.0;
 };
 
 /** Service tuning; fromEnv() reads the documented HIDA_SERVICE_* knobs. */
 struct ServiceOptions {
+    /** In-flight request executors (HIDA_SERVICE_CONCURRENCY; 0 = auto:
+     * min(4, hardware cores)). Results are bit-identical at any
+     * value — concurrency shapes wall clock only. */
+    unsigned concurrency = 0;
     /** Worker threads per request sweep (HIDA_SERVICE_WORKERS). */
     unsigned sweepThreads = 1;
-    /** Admission bound: submit() sheds at this queue depth
-     * (HIDA_SERVICE_QUEUE_DEPTH; 0 = unbounded). */
+    /** Dispatch slots per fair-queue visit for named tenants
+     * (HIDA_SERVICE_TENANT_WEIGHTS, "name=w,name=w"); unnamed tenants
+     * weigh 1. */
+    std::map<std::string, uint64_t> tenantWeights;
+    /** Admission bound: submit() sheds at this many *queued-not-yet-
+     * started* requests (HIDA_SERVICE_QUEUE_DEPTH; 0 = unbounded). */
     size_t maxQueueDepth = 64;
     /** Degrade instead of shed from this depth up (0 = never): the
      * request is admitted with a random strategy and an eighth of its
@@ -134,7 +171,9 @@ struct ServiceOptions {
      * (HIDA_SERVICE_RETRIES). */
     size_t maxRetries = 2;
     /** Backoff before retry attempt k: backoffMs * 2^(k-1). Zero keeps
-     * tests instant; determinism never depends on it. */
+     * tests instant; determinism never depends on it. Request-level
+     * backoff is served as a timed requeue (the executor moves on);
+     * point-level backoff sleeps only that request's executor lane. */
     double retryBackoffMs = 0.0;
     /** QoR store path (HIDA_QOR_STORE; "" = in-memory memo only). */
     std::string storePath;
@@ -142,14 +181,16 @@ struct ServiceOptions {
     TargetDevice device = TargetDevice::pynqZ2();
 
     /**
-     * Defaults overridden by HIDA_SERVICE_WORKERS /
-     * HIDA_SERVICE_QUEUE_DEPTH / HIDA_SERVICE_RETRIES / HIDA_QOR_STORE.
-     * Malformed numbers are user errors (exit kFatalExitCode).
+     * Defaults overridden by HIDA_SERVICE_CONCURRENCY /
+     * HIDA_SERVICE_WORKERS / HIDA_SERVICE_QUEUE_DEPTH /
+     * HIDA_SERVICE_RETRIES / HIDA_SERVICE_TENANT_WEIGHTS /
+     * HIDA_QOR_STORE. Malformed numbers or weight lists are user
+     * errors (exit kFatalExitCode).
      */
     static ServiceOptions fromEnv();
 };
 
-/** Monotone service-wide counters (stats()). */
+/** Monotone service-wide counters (stats()), plus one high-water mark. */
 struct ServiceStats {
     size_t submitted = 0;
     size_t answered = 0;  ///< Terminal responses produced.
@@ -161,13 +202,15 @@ struct ServiceStats {
     size_t degraded = 0;
     size_t pointRetries = 0;
     size_t requestRetries = 0;
+    size_t requeues = 0;      ///< Request-level timed backoff requeues.
+    size_t maxInFlight = 0;   ///< Peak concurrently executing requests.
 };
 
 class DseService {
   public:
-    /** Opens the store and starts the dispatcher thread. A corrupt or
-     * foreign store file is reported and degraded to misses — never an
-     * error. */
+    /** Opens the store and starts the executor + housekeeping threads.
+     * A corrupt or foreign store file is reported and degraded to
+     * misses — never an error. */
     explicit DseService(ServiceOptions options);
     /** shutdown()s if the owner has not already. */
     ~DseService();
@@ -192,27 +235,33 @@ class DseService {
 
     /**
      * Stop admitting, answer every queued request with kShutdown, let
-     * the in-flight request finish early (partial results), flush the
-     * store. Idempotent; also triggered by processShutdownToken()
-     * cancellation (SIGINT/SIGTERM). Responses stay waitable after.
+     * in-flight requests finish early (partial results; a backing-off
+     * request runs its remaining retry schedule without the waits),
+     * flush the store. Idempotent; also triggered by
+     * processShutdownToken() cancellation (SIGINT/SIGTERM). Responses
+     * stay waitable after.
      */
     void beginShutdown();
 
-    /** beginShutdown() + join the dispatcher. Idempotent. */
+    /** beginShutdown() + join executors and housekeeping. Idempotent. */
     void shutdown();
 
     ServiceStats stats() const;
-    /** Currently queued (admitted, not yet dispatched) requests. */
+    /** Currently queued (admitted, not yet started) requests. */
     size_t queueDepth() const;
+    /** Resolved executor-lane count (auto already applied). */
+    unsigned concurrency() const { return options_.concurrency; }
     QorStore::Stats storeStats() const { return store_.stats(); }
     /** The service-level cancel token (chained to the process one). */
     CancelToken& cancelToken() { return cancel_; }
 
   private:
     /** Warm per-session state: one lowered prototype plus the idle
-     * clone pool the next request's workers claim from. Dispatcher
-     * thread only, except `idle` (claimed/returned by pool workers
-     * under `mutex`). */
+     * clone pool the leasing request's workers claim from. A Session is
+     * leased *exclusively* by one in-flight request at a time (the
+     * warm-session pool hands concurrent same-model requests
+     * independent instances), so only `idle` needs its mutex — it is
+     * claimed/returned by that request's pool workers. */
     struct Session {
         OwnedModule prototype;
         FlowOptions partitionOptions;
@@ -228,11 +277,27 @@ class DseService {
         ServiceRequest request;
         bool degraded = false;
         std::chrono::steady_clock::time_point enqueued;
+        /** Timed-requeue state: next request-level fault attempt to
+         * roll (0 = never dispatched), retries spent so far, the queue
+         * wait recorded at first dispatch (< 0 = not yet dispatched)
+         * and, for delayed requeues, the eligibility time. */
+        size_t requestAttempt = 0;
+        size_t requestRetries = 0;
+        double queueSeconds = -1.0;
+        std::chrono::steady_clock::time_point notBefore;
     };
 
-    void dispatcherMain();
+    /** Exclusive lease of a warm (or freshly built) Session; returns
+     * it to the pool on destruction. */
+    class SessionLease;
+
+    void executorMain(unsigned lane);
+    void housekeepingMain();
     void runRequest(Pending pending);
-    Session& sessionFor(const ServiceRequest& request);
+    std::unique_ptr<Session> acquireSession(const ServiceRequest& request);
+    void releaseSession(const std::string& key,
+                        std::unique_ptr<Session> session);
+    std::unique_ptr<Session> buildSession(const ServiceRequest& request);
     std::shared_ptr<CloneSweepWorker> claimWorker(Session& session);
     static void releaseWorker(Session& session,
                               std::shared_ptr<CloneSweepWorker> worker);
@@ -243,28 +308,45 @@ class DseService {
                                        const std::vector<int64_t>& values);
     void respond(ServiceResponse response);
     void respondLocked(ServiceResponse response);
-    void drainQueueLocked();
+    /** Answer every never-started queued request with kShutdown;
+     * backing-off requeues stay (executors finish them inline). */
+    void drainFreshLocked();
+    /** Pop any backing-off requeue, ignoring its notBefore (shutdown
+     * path: the remaining schedule runs without the waits). */
+    bool pickRequeuedLocked(Pending* out);
+    /** Move delayed requeues whose backoff elapsed into their tenant's
+     * queue front. Returns whether any became runnable. */
+    bool promoteDueLocked(std::chrono::steady_clock::time_point now);
+    uint64_t tenantWeight(const std::string& tenant) const;
 
     ServiceOptions options_;
     QorStore store_;
     CancelToken cancel_;
 
     mutable std::mutex mutex_;
-    std::condition_variable queueCv_;     ///< Dispatcher wakeups.
+    std::condition_variable queueCv_;     ///< Executor wakeups.
+    std::condition_variable houseCv_;     ///< Housekeeping wakeups.
     std::condition_variable responseCv_;  ///< wait() wakeups.
-    std::deque<Pending> queue_;
+    WeightedFairQueue<Pending> queue_;    ///< Runnable, per-tenant DRR.
+    std::vector<Pending> delayed_;        ///< Backoff requeues, unordered.
+    size_t freshQueued_ = 0;  ///< Admission depth: never-started entries.
+    size_t inFlight_ = 0;
     std::unordered_map<uint64_t, ServiceResponse> responses_;
     std::unordered_map<uint64_t, uint8_t> outstanding_;  ///< Totality check.
     ServiceStats stats_;
     uint64_t nextId_ = 1;
     bool shuttingDown_ = false;
     bool stop_ = false;
-    bool joined_ = false;
 
-    /** Dispatcher-confined; no lock. */
-    std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+    /** Warm-session pool: idle Session instances per session key, each
+     * leased exclusively by one request at a time. */
+    std::mutex sessionsMutex_;
+    std::unordered_map<std::string,
+                       std::vector<std::unique_ptr<Session>>>
+        warmSessions_;
 
-    std::thread dispatcher_;
+    std::vector<std::thread> executors_;
+    std::thread housekeeper_;
 };
 
 } // namespace hida

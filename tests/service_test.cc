@@ -15,6 +15,11 @@
  *    HIDA_QOR_STORE path warm-starts with a hit rate above 50%
  *    (here: 100%); corrupt or foreign store bytes degrade to misses
  *    (kStoreCorrupt), never to wrong answers or aborts.
+ *  - Concurrency and fairness: per-request payloads are bit-identical
+ *    at any HIDA_SERVICE_CONCURRENCY, deficit-weighted fair queuing
+ *    keeps a chatty tenant from starving a light one, and a
+ *    backing-off request is a timed requeue that never stalls the
+ *    executor lanes.
  */
 
 #include <gtest/gtest.h>
@@ -22,6 +27,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -31,6 +37,7 @@
 #include "src/dse/qor_store.h"
 #include "src/service/service.h"
 #include "src/support/fault_inject.h"
+#include "src/support/utils.h"
 
 namespace hida {
 namespace {
@@ -67,6 +74,22 @@ smallRequest()
     request.grid = smallGrid();
     request.strategy.kind = StrategyKind::kExhaustive;
     return request;
+}
+
+/** The full 2400-point Table 1 LeNet grid: seconds of sweep on any
+ * machine, so it reliably occupies an executor lane while a test
+ * arranges the queue behind it. */
+DesignPointGrid
+bigGrid()
+{
+    DesignPointGrid grid;
+    grid.addDirectiveAxis("kpf1", {1, 2, 3, 6}, 1, "kpf_loop");
+    grid.addDirectiveAxis("cpf1", {1}, 1, "cpf_loop");
+    grid.addDirectiveAxis("kpf2", {1, 2, 4, 8, 16}, 2, "kpf_loop");
+    grid.addDirectiveAxis("cpf2", {1, 2, 3, 6}, 2, "cpf_loop");
+    grid.addDirectiveAxis("kpf3", {1, 2, 3, 4, 6, 8}, 3, "kpf_loop");
+    grid.addDirectiveAxis("cpf3", {1, 2, 4, 8, 16}, 3, "cpf_loop");
+    return grid;
 }
 
 FaultConfig
@@ -397,20 +420,16 @@ TEST_F(ServiceTest, DeadlineExhaustedWhileQueuedAnswersPartial)
 // Admission control and shutdown.
 // ---------------------------------------------------------------------------
 
-/** Occupy the dispatcher deterministically: a request whose service
- * fault site always fires, with real backoff, spends
- * backoff * (2^maxRetries - 1) ms (1.5s at the callers' 500ms/2) on the
- * dispatcher thread before failing terminally — no compile, no sweep,
- * no timing-sensitive work. Callers configure options.maxRetries=2 and
- * options.retryBackoffMs=500. */
+/** Occupy one executor lane deterministically: a full-grid sweep takes
+ * seconds on any machine, so until its id is answered the lane is busy
+ * and (at concurrency 1) the queue behind it is static. Returns once
+ * the request left the queue, i.e. the lane owns it. */
 uint64_t
 submitBlocker(DseService& service)
 {
-    setFaultConfig(faultsAt(FaultSite::kService, 42, 1.0));
-    uint64_t id = service.submit(smallRequest());
-    // Admitted at depth 0, so the dispatcher picks it up immediately;
-    // once the queue reads empty the blocker owns the dispatcher for
-    // its whole backoff schedule.
+    ServiceRequest request = smallRequest();
+    request.grid = bigGrid();
+    uint64_t id = service.submit(request);
     while (service.queueDepth() > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return id;
@@ -419,14 +438,13 @@ submitBlocker(DseService& service)
 TEST_F(ServiceTest, OverloadShedsAtDepthBoundAndDegradesBelowIt)
 {
     ServiceOptions options;
+    options.concurrency = 1;  // the only lane is pinned by the blocker
     options.maxQueueDepth = 2;
     options.degradeQueueDepth = 1;
-    options.maxRetries = 2;
-    options.retryBackoffMs = 500.0;
     DseService service(options);
 
     const uint64_t blocker = submitBlocker(service);
-    // Dispatcher is busy for ~1.5s; these submits see a static queue.
+    // The lane sweeps for seconds; these submits see a static queue.
     const uint64_t plain = service.submit(smallRequest());     // depth 0->1
     const uint64_t degraded = service.submit(smallRequest());  // depth 1->2
     const uint64_t shed = service.submit(smallRequest());      // at bound
@@ -446,11 +464,11 @@ TEST_F(ServiceTest, OverloadShedsAtDepthBoundAndDegradesBelowIt)
     EXPECT_EQ(degraded_response.status, RequestStatus::kRejected);
     EXPECT_TRUE(degraded_response.degraded);
 
-    // The in-flight blocker still runs its full retry schedule to a
-    // terminal failure — shutdown never orphans it.
+    // The in-flight blocker is stopped early with partial results —
+    // shutdown never orphans it.
     ServiceResponse blocker_response = service.wait(blocker);
-    EXPECT_EQ(blocker_response.status, RequestStatus::kFailed);
-    EXPECT_EQ(blocker_response.requestRetries, 2u);
+    EXPECT_EQ(blocker_response.status, RequestStatus::kPartial);
+    EXPECT_EQ(blocker_response.diag.code, ErrorCode::kShutdown);
 
     // A submit after shutdown is rejected, still with a response.
     ServiceResponse late = service.wait(service.submit(smallRequest()));
@@ -462,30 +480,259 @@ TEST_F(ServiceTest, OverloadShedsAtDepthBoundAndDegradesBelowIt)
     EXPECT_EQ(stats.answered, 5u);
     EXPECT_EQ(stats.shed, 1u);
     EXPECT_EQ(stats.rejected, 3u);
-    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.partial, 1u);
     EXPECT_EQ(stats.degraded, 1u);
 }
 
 TEST_F(ServiceTest, StaleQueuedRequestsAreShedAtDequeue)
 {
     ServiceOptions options;
+    options.concurrency = 1;
     options.maxQueueAgeSeconds = 0.2;
     options.maxRetries = 2;
     options.retryBackoffMs = 500.0;
     DseService service(options);
 
-    const uint64_t blocker = submitBlocker(service);
-    // Queued behind ~1.5s of blocker with a 0.2s age bound: by the
-    // time the dispatcher reaches it, running it would be overload
-    // amplification — it is shed instead.
+    // Occupy the lane for ~1.5s of *point-level* retry backoff (which,
+    // unlike request-level backoff, deliberately sleeps only this
+    // lane): every point of the blocker faults, so its retry schedule
+    // sleeps 500ms + 1s between deterministic re-rolls.
+    setFaultConfig(faultsAt(FaultSite::kEstimator, 42, 1.0));
+    const uint64_t blocker = service.submit(smallRequest());
+    while (service.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Queued behind that with a 0.2s age bound: by the time the lane
+    // reaches it, running it would be overload amplification — it is
+    // shed instead.
     const uint64_t stale = service.submit(smallRequest());
 
     ServiceResponse response = service.wait(stale);
     EXPECT_EQ(response.status, RequestStatus::kShed);
     EXPECT_EQ(response.diag.code, ErrorCode::kOverloaded);
     EXPECT_GE(response.queueSeconds, 0.2);
-    service.wait(blocker);
+    ServiceResponse blocker_response = service.wait(blocker);
     setFaultConfig(FaultConfig());
+    EXPECT_EQ(blocker_response.failures.size(), 8u);
+    EXPECT_GE(blocker_response.pointRetries, 8u);
+}
+
+TEST_F(ServiceTest, BackoffRequeueDoesNotStallThePipeline)
+{
+    // Find a fault key whose service-site verdict fires on attempts
+    // 0..2 (that request exhausts its retries) and one that never
+    // fires on attempt 0 (that request sails through). The verdict is
+    // a pure function of (seed, site, scope key), so probing here sees
+    // exactly what the service will see.
+    setFaultConfig(faultsAt(FaultSite::kService, 42, 0.5));
+    auto fires = [](uint64_t key, size_t attempt) {
+        FaultScope scope(attempt == 0 ? key
+                                      : hashCombine(hashMix(key), attempt));
+        return shouldInjectFault(FaultSite::kService);
+    };
+    uint64_t blocked_key = 0;
+    uint64_t free_key = 0;
+    for (uint64_t key = 1; key < 4096; ++key) {
+        if (blocked_key == 0 && fires(key, 0) && fires(key, 1) &&
+            fires(key, 2))
+            blocked_key = key;
+        if (free_key == 0 && !fires(key, 0))
+            free_key = key;
+        if (blocked_key != 0 && free_key != 0)
+            break;
+    }
+    ASSERT_NE(blocked_key, 0u);
+    ASSERT_NE(free_key, 0u);
+
+    // One lane, real backoff: under PR 9's dispatcher the backing-off
+    // request held the lane for 1s + 2s; with the timed requeue the
+    // free request must be answered while the faulted one is still
+    // waiting out its first backoff.
+    ServiceOptions options;
+    options.concurrency = 1;
+    options.maxRetries = 2;
+    options.retryBackoffMs = 1000.0;
+    DseService service(options);
+
+    ServiceRequest blocked_request = smallRequest();
+    blocked_request.faultKey = blocked_key;
+    const uint64_t blocked = service.submit(blocked_request);
+    ServiceRequest free_request = smallRequest();
+    free_request.faultKey = free_key;
+    const uint64_t free_id = service.submit(free_request);
+
+    ServiceResponse free_response = service.wait(free_id);
+    EXPECT_EQ(free_response.status, RequestStatus::kCompleted)
+        << free_response.diag.message;
+    // The faulted request is mid-backoff, not answered and not holding
+    // the lane.
+    ServiceStats mid = service.stats();
+    EXPECT_EQ(mid.failed, 0u);
+    EXPECT_GE(mid.requeues, 1u);
+
+    ServiceResponse blocked_response = service.wait(blocked);
+    setFaultConfig(FaultConfig());
+    EXPECT_EQ(blocked_response.status, RequestStatus::kFailed);
+    EXPECT_EQ(blocked_response.diag.code, ErrorCode::kFaultInjected);
+    EXPECT_EQ(blocked_response.requestRetries, 2u);
+    EXPECT_EQ(service.stats().requeues, 2u);
+}
+
+TEST_F(ServiceTest, ShutdownRunsRemainingRetryScheduleWithoutDelay)
+{
+    // A minute of backoff that must never actually be waited: shutdown
+    // runs the remaining retry schedule inline (backoff shapes timing,
+    // never decisions), so the request still fails with its full
+    // deterministic retry count — fast.
+    ServiceOptions options;
+    options.concurrency = 1;
+    options.maxRetries = 2;
+    options.retryBackoffMs = 60000.0;
+    DseService service(options);
+    setFaultConfig(faultsAt(FaultSite::kService, 42, 1.0));
+    const uint64_t id = service.submit(smallRequest());
+    while (service.stats().requeues == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    service.beginShutdown();
+    ServiceResponse response = service.wait(id);
+    setFaultConfig(FaultConfig());
+    EXPECT_EQ(response.status, RequestStatus::kFailed);
+    EXPECT_EQ(response.diag.code, ErrorCode::kFaultInjected);
+    EXPECT_EQ(response.requestRetries, 2u);
+}
+
+TEST_F(ServiceTest, WeightedFairQueuingPreventsStarvation)
+{
+    // Six heavy-tenant requests queued ahead of one light-tenant
+    // request behind a busy lane. FIFO would run all six first; under
+    // deficit round robin (heavy weighted 2, light 1) the light request
+    // is dispatched after at most two heavies.
+    ServiceOptions options;
+    options.concurrency = 1;
+    options.tenantWeights["heavy"] = 2;
+    DseService service(options);
+
+    const uint64_t blocker = submitBlocker(service);
+    std::vector<uint64_t> heavy;
+    for (int i = 0; i < 6; ++i) {
+        ServiceRequest request = smallRequest();
+        request.tenant = "heavy";
+        heavy.push_back(service.submit(request));
+    }
+    ServiceRequest light_request = smallRequest();
+    light_request.tenant = "light";
+    const uint64_t light = service.submit(light_request);
+
+    service.wait(blocker);
+    ServiceResponse light_response = service.wait(light);
+    ASSERT_EQ(light_response.status, RequestStatus::kCompleted)
+        << light_response.diag.message;
+    size_t after_light = 0;
+    for (uint64_t id : heavy) {
+        ServiceResponse response = service.wait(id);
+        ASSERT_EQ(response.status, RequestStatus::kCompleted);
+        // Everything was enqueued at once and dispatch is serial, so
+        // queueSeconds orders the lane's dispatch sequence.
+        if (response.queueSeconds > light_response.queueSeconds)
+            ++after_light;
+    }
+    EXPECT_GE(after_light, 4u);
+}
+
+TEST_F(ServiceTest, ConcurrentRequestsShareTheLanes)
+{
+    ServiceOptions options;
+    options.concurrency = 4;
+    DseService service(options);
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        ServiceRequest request = smallRequest();
+        request.grid = bigGrid();
+        request.strategy.kind = StrategyKind::kRandom;
+        request.strategy.budget = 64;
+        request.strategy.seed = 7;
+        ids.push_back(service.submit(request));
+    }
+    for (uint64_t id : ids) {
+        ServiceResponse response = service.wait(id);
+        EXPECT_EQ(response.status, RequestStatus::kCompleted)
+            << response.diag.message;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.answered, 4u);
+    // Identical sweeps take long enough that at least two of the four
+    // lanes must have overlapped.
+    EXPECT_GE(stats.maxInFlight, 2u);
+}
+
+TEST_F(ServiceTest, ResponsesAreBitIdenticalAcrossConcurrency)
+{
+    // The acceptance contract: the same 8-request multi-tenant mix,
+    // clean and under "any"-site faults, must produce byte-identical
+    // per-request payloads at concurrency 1, 2 and 4 — every
+    // retry/fault decision keys on (point or faultKey, attempt), never
+    // on timing or lane placement.
+    auto runMix = [](unsigned concurrency, bool faulted) {
+        ServiceOptions options;
+        options.concurrency = concurrency;
+        options.sweepThreads = 2;
+        options.maxRetries = 2;
+        DseService service(options);
+        if (faulted) {
+            FaultConfig config;
+            config.enabled = true;
+            config.siteMask = faultSiteBit(FaultSite::kEstimator) |
+                              faultSiteBit(FaultSite::kStore) |
+                              faultSiteBit(FaultSite::kService);
+            config.seed = 42;
+            config.rate = 0.05;
+            setFaultConfig(config);
+        }
+        std::vector<uint64_t> ids;
+        for (size_t seq = 0; seq < 8; ++seq) {
+            ServiceRequest request = smallRequest();
+            request.tenant = strCat("t", seq % 3);
+            request.faultKey = seq + 1;
+            if (seq % 2 == 1) {
+                request.strategy.kind = StrategyKind::kRandom;
+                request.strategy.budget = 4;
+                request.strategy.seed = 42 + seq;
+            }
+            ids.push_back(service.submit(request));
+        }
+        std::vector<ServiceResponse> responses;
+        for (uint64_t id : ids)
+            responses.push_back(service.wait(id));
+        setFaultConfig(FaultConfig());
+        return responses;
+    };
+
+    for (bool faulted : {false, true}) {
+        std::vector<ServiceResponse> base = runMix(1, faulted);
+        for (unsigned concurrency : {2u, 4u}) {
+            std::vector<ServiceResponse> got = runMix(concurrency, faulted);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t i = 0; i < base.size(); ++i) {
+                const ServiceResponse& a = base[i];
+                const ServiceResponse& b = got[i];
+                EXPECT_EQ(a.status, b.status)
+                    << "request " << i << " at concurrency " << concurrency;
+                EXPECT_EQ(a.requestRetries, b.requestRetries) << i;
+                EXPECT_EQ(a.completed, b.completed) << i;
+                ASSERT_EQ(a.results.size(), b.results.size()) << i;
+                for (size_t p = 0; p < a.results.size(); ++p)
+                    EXPECT_EQ(std::memcmp(&a.results[p], &b.results[p],
+                                          sizeof(ServicePoint)),
+                              0)
+                        << "request " << i << " point " << p;
+                ASSERT_EQ(a.failures.size(), b.failures.size()) << i;
+                for (size_t f = 0; f < a.failures.size(); ++f) {
+                    EXPECT_EQ(a.failures[f].index, b.failures[f].index);
+                    EXPECT_EQ(a.failures[f].diag.code,
+                              b.failures[f].diag.code);
+                }
+            }
+        }
+    }
 }
 
 TEST_F(ServiceTest, ShutdownMidSweepYieldsPartialResults)
@@ -596,18 +843,26 @@ TEST_F(ServiceTest, TotalityHoldsUnderMixedFaultTraffic)
 
 TEST_F(ServiceTest, FromEnvReadsTheDocumentedKnobs)
 {
+    setenv("HIDA_SERVICE_CONCURRENCY", "3", 1);
     setenv("HIDA_SERVICE_WORKERS", "3", 1);
     setenv("HIDA_SERVICE_QUEUE_DEPTH", "5", 1);
     setenv("HIDA_SERVICE_RETRIES", "7", 1);
+    setenv("HIDA_SERVICE_TENANT_WEIGHTS", "alice=4,bob=2", 1);
     setenv("HIDA_QOR_STORE", "/tmp/hida-env-store.qst", 1);
     ServiceOptions options = ServiceOptions::fromEnv();
+    unsetenv("HIDA_SERVICE_CONCURRENCY");
     unsetenv("HIDA_SERVICE_WORKERS");
     unsetenv("HIDA_SERVICE_QUEUE_DEPTH");
     unsetenv("HIDA_SERVICE_RETRIES");
+    unsetenv("HIDA_SERVICE_TENANT_WEIGHTS");
     unsetenv("HIDA_QOR_STORE");
+    EXPECT_EQ(options.concurrency, 3u);
     EXPECT_EQ(options.sweepThreads, 3u);
     EXPECT_EQ(options.maxQueueDepth, 5u);
     EXPECT_EQ(options.maxRetries, 7u);
+    ASSERT_EQ(options.tenantWeights.size(), 2u);
+    EXPECT_EQ(options.tenantWeights["alice"], 4u);
+    EXPECT_EQ(options.tenantWeights["bob"], 2u);
     EXPECT_EQ(options.storePath, "/tmp/hida-env-store.qst");
 }
 
